@@ -1,0 +1,317 @@
+// Benchmarks regenerating every figure of the paper plus the simulator
+// micro-benchmarks. Figure benches run the real experiment pipeline
+// (calibration, placement, flit-level simulation, aggregation) with a
+// reduced trial count so `go test -bench=.` completes in minutes; the
+// full 16-trial figures are produced by cmd/mcastbench.
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/bmin"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/wormhole"
+)
+
+const benchTrials = 2 // cmd/mcastbench uses the paper's 16
+
+func benchMeshSuite() *exp.Suite {
+	s := exp.DefaultSuite(exp.MeshPlatform(16, 16, wormhole.DefaultConfig()))
+	s.Trials = benchTrials
+	return s
+}
+
+func benchBMINSuite() *exp.Suite {
+	s := exp.DefaultSuite(exp.BMINPlatform(128, bmin.AscentStraight, wormhole.DefaultConfig()))
+	s.Trials = benchTrials
+	return s
+}
+
+// BenchmarkOptTreeDP measures Algorithm 2.1 itself: the O(k) dynamic
+// program behind every figure (and the Figure 1 example).
+func BenchmarkOptTreeDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		repro.NewOptTable(65536, 20, 55)
+	}
+}
+
+// BenchmarkFigure1 evaluates the paper's worked example analytically.
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := repro.Figure1()
+		if err != nil || f.OptLatency != 130 {
+			b.Fatal("figure 1 broken")
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the 32-node message-size sweep on the
+// 16x16 mesh (U-mesh / OPT-tree / OPT-mesh).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure2(benchMeshSuite()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2b regenerates the 128-node variant of Figure 2.
+func BenchmarkFigure2b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure2b(benchMeshSuite()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the 4-KB node-count sweep on the mesh.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Figure3(benchMeshSuite()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBMINSize regenerates the BMIN message-size sweep (U-min /
+// OPT-tree / OPT-min).
+func BenchmarkBMINSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BMINSizes(benchBMINSuite()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBMINNodes regenerates the BMIN node-count sweep.
+func BenchmarkBMINNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BMINNodes(benchBMINSuite()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContentionAblation quantifies Section 5's "contention less
+// severe on the BMIN" claim.
+func BenchmarkContentionAblation(b *testing.B) {
+	sizes := []int{4096, 32768}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ContentionComparison(benchMeshSuite(), benchBMINSuite(), 32, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRatioAblation sweeps the t_hold/t_end ratio analytically.
+func BenchmarkRatioAblation(b *testing.B) {
+	ratios := []float64{0.01, 0.05, 0.1, 0.2, 0.36, 0.5, 0.75, 1.0}
+	for i := 0; i < b.N; i++ {
+		exp.RatioAblation(256, 1000, ratios)
+	}
+}
+
+// BenchmarkAddrPayloadAblation measures the address-list payload cost.
+func BenchmarkAddrPayloadAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.AddrAblation(benchMeshSuite(), 32, 4096, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPolicyAblation compares BMIN ascent policies.
+func BenchmarkPolicyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.PolicyAblation(128, wormhole.DefaultConfig(), model.DefaultSoftware(), benchTrials, 1997, 32, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkButterflyTemporal runs experiment E1 on the unidirectional
+// butterfly.
+func BenchmarkButterflyTemporal(b *testing.B) {
+	sizes := []int{4096, 32768}
+	for i := 0; i < b.N; i++ {
+		s := exp.DefaultSuite(exp.ButterflyPlatform(128, wormhole.DefaultConfig()))
+		s.Trials = benchTrials
+		if _, err := exp.ButterflyTemporal(s, 32, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHypercube runs experiment H1 (U-cube vs OPT-cube on a
+// 256-node hypercube).
+func BenchmarkHypercube(b *testing.B) {
+	sizes := []int{4096, 32768}
+	for i := 0; i < b.N; i++ {
+		s := exp.DefaultSuite(exp.HypercubePlatform(8, wormhole.DefaultConfig()))
+		s.Trials = benchTrials
+		if _, err := exp.HypercubeSizes(s, 32, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentInterference runs experiment C1 (simultaneous
+// multicasts interfering through the shared fabric).
+func BenchmarkConcurrentInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ConcurrentInterference(benchMeshSuite(), []int{1, 2, 4}, 16, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelValidation runs experiment M1 (analytic vs simulated).
+func BenchmarkModelValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ModelValidation(benchMeshSuite(), []int{8, 32, 128}, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBroadcastCrossover runs experiment B4 (tree vs
+// scatter-collect full broadcast).
+func BenchmarkBroadcastCrossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.DefaultSuite(exp.MeshPlatform(8, 8, wormhole.DefaultConfig()))
+		if _, err := exp.BroadcastCrossover(s, []int{4096, 1 << 18}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTorus runs experiment T1 (multicast trees on a wrap-around
+// torus with dateline virtual channels).
+func BenchmarkTorus(b *testing.B) {
+	sizes := []int{4096, 32768}
+	for i := 0; i < b.N; i++ {
+		s := exp.DefaultSuite(exp.TorusPlatform(16, 16, wormhole.DefaultConfig()))
+		s.Trials = benchTrials
+		if _, err := exp.TorusSizes(s, 32, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTemporalTuning runs experiment E2 (search-based §6 tuning on
+// the butterfly).
+func BenchmarkTemporalTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.DefaultSuite(exp.ButterflyPlatform(64, wormhole.DefaultConfig()))
+		s.Trials = benchTrials
+		if _, err := exp.TemporalTuning(s, 20, 4096, 150); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaticChecker measures the static contention verifier on a
+// 64-node OPT-mesh schedule.
+func BenchmarkStaticChecker(b *testing.B) {
+	m := repro.NewMesh2D(16, 16)
+	k := &repro.ContentionChecker{Topo: m, Software: repro.DefaultSoftware(), Slack: 100}
+	addrs := make([]int, 64)
+	for i := range addrs {
+		addrs[i] = i * 4
+	}
+	ch := repro.NewChain(addrs, m.DimOrderLess)
+	tab := repro.NewOptTable(64, 1014, 2500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conflicts, err := k.Check(tab, ch, 0, 4096, 1014, 2500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(conflicts) != 0 {
+			b.Fatal("unexpected conflicts")
+		}
+	}
+}
+
+// BenchmarkUnicast64KB measures raw fabric throughput: one 64 KB worm
+// across the mesh diagonal, reported in flit events per second.
+func BenchmarkUnicast64KB(b *testing.B) {
+	m := repro.NewMesh2D(16, 16)
+	cfg := repro.DefaultFabricConfig()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		n := repro.NewNetwork(m, cfg)
+		n.Send(0, 255, 65536, nil, nil)
+		if _, err := n.RunUntilIdle(1 << 22); err != nil {
+			b.Fatal(err)
+		}
+		events += n.Stats().FlitHops
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "flit-events/s")
+}
+
+// BenchmarkMulticastOptMesh measures one full 32-node 4 KB OPT-mesh
+// multicast, the workhorse of Figures 2 and 3.
+func BenchmarkMulticastOptMesh(b *testing.B) {
+	m := repro.NewMesh2D(16, 16)
+	cfg := repro.DefaultFabricConfig()
+	soft := repro.DefaultSoftware()
+	runCfg := repro.RunConfig{Software: soft}
+	tend, err := repro.MeasureUnicast(repro.NewNetwork(m, cfg), 0, 90, 4096, runCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab := repro.NewOptTable(32, soft.Hold.At(4096), tend)
+	addrs := make([]int, 32)
+	for i := range addrs {
+		addrs[i] = i * 8
+	}
+	ch := repro.NewChain(addrs, m.DimOrderLess)
+	root, _ := ch.Index(addrs[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.RunMulticast(repro.NewNetwork(m, cfg), tab, ch, root, 4096, runCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSends measures the planner's per-node work.
+func BenchmarkPlanSends(b *testing.B) {
+	tab := repro.NewOptTable(1024, 20, 55)
+	ids := make(repro.Chain, 1024)
+	for i := range ids {
+		ids[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := planTreeShape(tab, 1024)
+		if tree.Size() != 1024 {
+			b.Fatal("bad tree")
+		}
+	}
+}
+
+func planTreeShape(tab repro.SplitTable, k int) *repro.Tree {
+	var build func(l, r, self int) *repro.Tree
+	build = func(l, r, self int) *repro.Tree {
+		t := &repro.Tree{Node: self}
+		for l < r {
+			i := r - l + 1
+			j := tab.J(i)
+			if self < l+j {
+				rec := l + j
+				t.Children = append(t.Children, build(rec, r, rec))
+				r = rec - 1
+			} else {
+				rec := r - j
+				t.Children = append(t.Children, build(l, rec, rec))
+				l = rec + 1
+			}
+		}
+		return t
+	}
+	return build(0, k-1, 0)
+}

@@ -1,0 +1,86 @@
+// Command calibrate measures the parameterized model's parameters from
+// the simulated machine, mirroring the paper's user-level micro-benchmark
+// methodology: unicast round trips at several message sizes, least-squares
+// fit of the linear model, residual report.
+//
+// Usage:
+//
+//	calibrate -topo mesh -w 16 -h 16
+//	calibrate -topo bmin -nodes 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bmin"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/wormhole"
+)
+
+func main() {
+	var (
+		topo  = flag.String("topo", "mesh", "fabric: mesh, bmin, bfly")
+		w     = flag.Int("w", 16, "mesh width")
+		h     = flag.Int("h", 16, "mesh height")
+		nodes = flag.Int("nodes", 128, "bmin/bfly node count")
+		seed  = flag.Uint64("seed", 1997, "seed for calibration pair selection")
+	)
+	flag.Parse()
+
+	if err := run(*topo, *w, *h, *nodes, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo string, w, h, nodes int, seed uint64) error {
+	cfg := wormhole.DefaultConfig()
+	var platform exp.Platform
+	switch topo {
+	case "mesh":
+		platform = exp.MeshPlatform(w, h, cfg)
+	case "bmin":
+		platform = exp.BMINPlatform(nodes, bmin.AscentStraight, cfg)
+	case "bfly":
+		platform = exp.ButterflyPlatform(nodes, cfg)
+	default:
+		return fmt.Errorf("unknown topology %q", topo)
+	}
+	s := exp.DefaultSuite(platform)
+	s.Seed = seed
+
+	sizes := []int{0, 256, 1024, 4096, 16384, 65536}
+	fmt.Printf("calibrating %s (software: send=%v, recv=%v, hold=%v)\n",
+		platform.Name, s.Software.Send, s.Software.Recv, s.Software.Hold)
+	fmt.Println("\nmeasured end-to-end latencies:")
+	fmt.Printf("  %8s  %10s  %10s  %8s\n", "bytes", "t_end", "t_hold", "ratio")
+	var pts []model.Point
+	for _, m := range sizes {
+		tend, err := s.MeasureTEnd(m)
+		if err != nil {
+			return err
+		}
+		thold := s.Software.Hold.At(m)
+		fmt.Printf("  %8d  %10d  %10d  %8.3f\n", m, tend, thold, float64(thold)/float64(tend))
+		pts = append(pts, model.Point{Bytes: m, T: tend})
+	}
+
+	endFit, err := model.Fit(pts)
+	if err != nil {
+		return err
+	}
+	params, err := s.FitParams(sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfitted model:\n")
+	fmt.Printf("  t_end(m) = %s cycles\n", endFit)
+	fmt.Printf("  t_net(m) = %s cycles\n", params.Net)
+	fmt.Printf("  max fit residual: %.1f cycles\n", model.Residual(endFit, pts))
+	lp := params.AsLogP(4096)
+	fmt.Printf("  LogP at 4KB: L=%d o=%d g=%d\n", lp.L, lp.O, lp.G)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	return <-done, ferr
+}
+
+func TestCalibrateMesh(t *testing.T) {
+	out, err := capture(t, func() error { return run("mesh", 8, 8, 64, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"t_end(m)", "t_net(m)", "max fit residual", "LogP at 4KB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The fabric injects one 8-byte flit per cycle; the fitted per-byte
+	// network cost must be printed near 0.125.
+	if !strings.Contains(out, "0.125") {
+		t.Fatalf("t_net per-byte not ~0.125:\n%s", out)
+	}
+}
+
+func TestCalibrateBMINAndButterfly(t *testing.T) {
+	for _, topo := range []string{"bmin", "bfly"} {
+		out, err := capture(t, func() error { return run(topo, 8, 8, 64, 1) })
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if !strings.Contains(out, "fitted model") {
+			t.Fatalf("%s: no fit in:\n%s", topo, out)
+		}
+	}
+}
+
+func TestCalibrateUnknownTopo(t *testing.T) {
+	if _, err := capture(t, func() error { return run("ring", 8, 8, 64, 1) }); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}

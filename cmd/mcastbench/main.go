@@ -1,0 +1,163 @@
+// Command mcastbench regenerates the paper's figures and this
+// repository's ablations on the flit-level simulator and prints them as
+// aligned tables (or CSV).
+//
+// Usage:
+//
+//	mcastbench -fig 2            # Figure 2: 32-node size sweep, 16x16 mesh
+//	mcastbench -fig all -csv     # everything, machine readable
+//	mcastbench -fig 3 -trials 4  # quicker, noisier
+//
+// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bmin"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/wormhole"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, all")
+		trials  = flag.Int("trials", 16, "random placements per data point (the paper uses 16)")
+		seed    = flag.Uint64("seed", 1997, "PRNG seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		chart   = flag.Bool("chart", false, "also draw each figure as an ASCII chart")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *trials, *seed, *workers, *csv, *chart); err != nil {
+		fmt.Fprintln(os.Stderr, "mcastbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, trials int, seed uint64, workers int, csv, chart bool) error {
+	cfg := wormhole.DefaultConfig()
+	meshSuite := func() *exp.Suite {
+		s := exp.DefaultSuite(exp.MeshPlatform(16, 16, cfg))
+		s.Trials, s.Seed, s.Workers = trials, seed, workers
+		return s
+	}
+	bminSuite := func() *exp.Suite {
+		s := exp.DefaultSuite(exp.BMINPlatform(128, bmin.AscentStraight, cfg))
+		s.Trials, s.Seed, s.Workers = trials, seed, workers
+		return s
+	}
+
+	emit := func(t *exp.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		if csv {
+			fmt.Println("#", t.Title)
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		if chart {
+			fmt.Println(t.Chart(64, 16))
+		}
+		return nil
+	}
+
+	figures := map[string]func() error{
+		"1": func() error {
+			f, err := exp.Figure1()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Figure 1 (worked example): 6x6 mesh, 8 nodes, t_hold=%d, t_end=%d\n", f.THold, f.TEnd)
+			fmt.Printf("  OPT-mesh multicast latency: %d (paper: 130)\n", f.OptLatency)
+			fmt.Printf("  U-mesh   multicast latency: %d (paper: 165)\n", f.UMeshLat)
+			fmt.Println("  OPT tree (chain positions, children in send order):")
+			fmt.Print(indent(f.OptTree.String(), "    "))
+			fmt.Println("  U-mesh tree:")
+			fmt.Print(indent(f.UMeshTree.String(), "    "))
+			return nil
+		},
+		"2":  func() error { return emit(exp.Figure2(meshSuite())) },
+		"2b": func() error { return emit(exp.Figure2b(meshSuite())) },
+		"3":  func() error { return emit(exp.Figure3(meshSuite())) },
+		"b2": func() error { return emit(exp.BMINSizes(bminSuite())) },
+		"b3": func() error { return emit(exp.BMINNodes(bminSuite())) },
+		"contention": func() error {
+			return emit(exp.ContentionComparison(meshSuite(), bminSuite(), 32, exp.DefaultSizes()))
+		},
+		"ratio": func() error {
+			ratios := []float64{0.01, 0.05, 0.1, 0.2, 0.36, 0.5, 0.75, 1.0}
+			return emit(exp.RatioAblation(32, 1000, ratios), nil)
+		},
+		"addr": func() error {
+			return emit(exp.AddrAblation(meshSuite(), 32, 4096, 4))
+		},
+		"policy": func() error {
+			return emit(exp.PolicyAblation(128, cfg, model.DefaultSoftware(), trials, seed, 32, 4096))
+		},
+		"e1": func() error {
+			s := exp.DefaultSuite(exp.ButterflyPlatform(128, cfg))
+			s.Trials, s.Seed, s.Workers = trials, seed, workers
+			return emit(exp.ButterflyTemporal(s, 32, exp.DefaultSizes()))
+		},
+		"h1": func() error {
+			s := exp.DefaultSuite(exp.HypercubePlatform(8, cfg))
+			s.Trials, s.Seed, s.Workers = trials, seed, workers
+			return emit(exp.HypercubeSizes(s, 32, exp.DefaultSizes()))
+		},
+		"model": func() error {
+			return emit(exp.ModelValidation(meshSuite(), []int{4, 8, 16, 32, 64, 128, 256}, 4096))
+		},
+		"b4": func() error {
+			s := exp.DefaultSuite(exp.MeshPlatform(16, 16, cfg))
+			s.Trials, s.Seed, s.Workers = trials, seed, workers
+			sizes := []int{256, 1024, 4096, 16384, 65536, 262144, 1048576}
+			return emit(exp.BroadcastCrossover(s, sizes))
+		},
+		"t1": func() error {
+			s := exp.DefaultSuite(exp.TorusPlatform(16, 16, cfg))
+			s.Trials, s.Seed, s.Workers = trials, seed, workers
+			return emit(exp.TorusSizes(s, 32, exp.DefaultSizes()))
+		},
+		"conc": func() error {
+			return emit(exp.ConcurrentInterference(meshSuite(), []int{1, 2, 4, 8}, 16, 4096))
+		},
+		"e2": func() error {
+			s := exp.DefaultSuite(exp.ButterflyPlatform(128, cfg))
+			s.Trials, s.Seed, s.Workers = trials, seed, workers
+			return emit(exp.TemporalTuning(s, 32, 4096, 400))
+		},
+	}
+
+	order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model"}
+	if fig == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			if err := figures[name](); err != nil {
+				return fmt.Errorf("figure %s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	f, ok := figures[fig]
+	if !ok {
+		return fmt.Errorf("unknown figure %q (want one of %s, all)", fig, strings.Join(order, ", "))
+	}
+	return f()
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	return <-done, ferr
+}
+
+func TestRunFigure1(t *testing.T) {
+	out, err := capture(t, func() error { return run("1", 2, 1, 1, false, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "130 (paper: 130)") || !strings.Contains(out, "165 (paper: 165)") {
+		t.Fatalf("figure 1 output wrong:\n%s", out)
+	}
+}
+
+func TestRunRatioText(t *testing.T) {
+	out, err := capture(t, func() error { return run("ratio", 2, 1, 1, false, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "binomial") || !strings.Contains(out, "sequential") {
+		t.Fatalf("ratio output wrong:\n%s", out)
+	}
+}
+
+func TestRunFigure3CSV(t *testing.T) {
+	out, err := capture(t, func() error { return run("3", 2, 1, 1, true, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "U-mesh mean") || strings.Count(out, "\n") < 5 {
+		t.Fatalf("CSV output wrong:\n%s", out)
+	}
+}
+
+func TestRunHypercube(t *testing.T) {
+	out, err := capture(t, func() error { return run("h1", 1, 1, 1, false, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "OPT-cube") {
+		t.Fatalf("h1 output wrong:\n%s", out)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	_, err := capture(t, func() error { return run("nope", 2, 1, 1, false, false) })
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	f := func() string {
+		out, err := capture(t, func() error { return run("conc", 2, 5, 1, false, true) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if f() != f() {
+		t.Fatal("same seed produced different tables")
+	}
+}

@@ -1,0 +1,199 @@
+// Command netsim runs a single multicast on the flit-level simulator and
+// reports latency, contention and per-node delivery times.
+//
+// Usage:
+//
+//	netsim -topo mesh -w 16 -h 16 -algo opt-mesh -k 32 -bytes 4096
+//	netsim -topo bmin -nodes 128 -algo u-min -k 16 -bytes 65536 -seed 7
+//	netsim -topo bfly -nodes 64 -algo opt-tree -k 24 -bytes 8192 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bfly"
+	"repro/internal/bmin"
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/mcastsim"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/torus"
+	"repro/internal/trace"
+	"repro/internal/wormhole"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "mesh", "fabric: mesh, torus, bmin, bfly")
+		w       = flag.Int("w", 16, "mesh width")
+		h       = flag.Int("h", 16, "mesh height")
+		nodes   = flag.Int("nodes", 128, "bmin/bfly node count (power of two)")
+		policy  = flag.String("policy", "straight", "bmin ascent policy: straight, dest, adaptive, adaptive-dest")
+		algo    = flag.String("algo", "opt", "algorithm: opt (architecture chain), opt-tree (unordered), binomial, sequential")
+		k       = flag.Int("k", 32, "multicast size (source + k-1 destinations)")
+		bytes   = flag.Int("bytes", 4096, "message size in bytes")
+		seed    = flag.Uint64("seed", 1, "placement seed")
+		addrB   = flag.Int("addrbytes", 0, "payload bytes charged per carried destination address")
+		verbose = flag.Bool("v", false, "print per-node delivery times")
+		gantt   = flag.Bool("trace", false, "print a message-timeline Gantt chart and the hottest channels")
+		heatmap = flag.Bool("heatmap", false, "print a mesh link-utilization heatmap (mesh only)")
+	)
+	flag.Parse()
+
+	if err := run(options{
+		topo: *topo, w: *w, h: *h, nodes: *nodes, policy: *policy, algo: *algo,
+		k: *k, bytes: *bytes, seed: *seed, addrB: *addrB,
+		verbose: *verbose, gantt: *gantt, heatmap: *heatmap,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "netsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	topo         string
+	w, h, nodes  int
+	policy, algo string
+	k, bytes     int
+	seed         uint64
+	addrB        int
+	verbose      bool
+	gantt        bool
+	heatmap      bool
+}
+
+func run(o options) error {
+	topoName, w, h, nodes := o.topo, o.w, o.h, o.nodes
+	policyName, algoName := o.policy, o.algo
+	k, bytes, seed, addrB, verbose := o.k, o.bytes, o.seed, o.addrB, o.verbose
+	cfg := wormhole.DefaultConfig()
+	var (
+		topo    wormhole.Topology
+		less    func(a, b int) bool
+		n       int
+		theMesh *mesh.Mesh
+	)
+	switch topoName {
+	case "mesh":
+		m := mesh.New2D(w, h)
+		theMesh = m
+		topo, less, n = m, m.DimOrderLess, m.NumNodes()
+	case "torus":
+		tr := torus.New2D(w, h)
+		topo, less, n = tr, tr.DimOrderLess, tr.NumNodes()
+	case "bmin":
+		var pol bmin.AscentPolicy
+		switch policyName {
+		case "straight":
+			pol = bmin.AscentStraight
+		case "dest":
+			pol = bmin.AscentDest
+		case "adaptive":
+			pol = bmin.AscentAdaptive
+		case "adaptive-dest":
+			pol = bmin.AscentAdaptiveDest
+		default:
+			return fmt.Errorf("unknown policy %q", policyName)
+		}
+		b := bmin.New(nodes, pol)
+		topo, less, n = b, b.LexLess, nodes
+	case "bfly":
+		b := bfly.New(nodes)
+		topo, less, n = b, b.LexLess, nodes
+	default:
+		return fmt.Errorf("unknown topology %q", topoName)
+	}
+	if k > n {
+		return fmt.Errorf("k=%d exceeds fabric size %d", k, n)
+	}
+
+	soft := model.DefaultSoftware()
+	runCfg := mcastsim.Config{Software: soft, AddrBytes: addrB}
+
+	// Measure t_end on this fabric for the OPT shapes.
+	r := sim.NewRNG(seed)
+	addrs := r.Sample(n, k)
+	a, b := addrs[0], addrs[len(addrs)-1]
+	tend, err := mcastsim.Unicast(wormhole.New(topo, cfg), a, b, bytes, runCfg)
+	if err != nil {
+		return err
+	}
+	thold := soft.Hold.At(bytes)
+
+	var ch chain.Chain
+	var tab core.SplitTable
+	switch algoName {
+	case "opt":
+		ch = chain.New(addrs, less)
+		tab = core.NewOptTable(k, thold, tend)
+	case "opt-tree":
+		ch = chain.Unordered(addrs)
+		tab = core.NewOptTable(k, thold, tend)
+	case "binomial":
+		ch = chain.New(addrs, less)
+		tab = core.BinomialTable{Max: k}
+	case "sequential":
+		ch = chain.New(addrs, less)
+		tab = core.SequentialTable{Max: k}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algoName)
+	}
+	root, _ := ch.Index(addrs[0])
+
+	net := wormhole.New(topo, cfg)
+	usage := trace.NewChannelUsage(topo)
+	timeline := trace.NewTimeline()
+	if o.gantt || o.heatmap {
+		net.SetObserver(trace.Multi{usage, timeline})
+	}
+	res, err := mcastsim.Run(net, tab, ch, root, bytes, runCfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fabric: %s (%d nodes)   algorithm: %s   k=%d   message=%d bytes\n",
+		topoName, n, algoName, k, bytes)
+	fmt.Printf("measured parameters: t_hold=%d  t_end=%d  (ratio %.3f)\n",
+		thold, tend, float64(thold)/float64(tend))
+	fmt.Printf("multicast latency:   %d cycles\n", res.Latency)
+	fmt.Printf("messages sent:       %d\n", res.Worms)
+	fmt.Printf("contention:          %d blocked header cycles\n", res.BlockedCycles)
+	fmt.Printf("one-port wait:       %d cycles\n", res.InjectWaitCycles)
+	fmt.Printf("fabric cycles:       %d\n", res.Cycles)
+
+	if verbose {
+		type del struct {
+			node int
+			at   int64
+		}
+		var ds []del
+		for i, d := range res.Deliveries {
+			ds = append(ds, del{node: ch[i], at: d})
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i].at < ds[j].at })
+		fmt.Println("\ndeliveries (node: cycle):")
+		for _, d := range ds {
+			fmt.Printf("  %4d: %d\n", d.node, d.at)
+		}
+	}
+	if o.gantt {
+		fmt.Println("\nmessage timeline ('!' marks blocked messages):")
+		fmt.Print(timeline.Gantt(64))
+		fmt.Println("\nhottest channels:")
+		fmt.Print(usage.Report(10))
+	}
+	if o.heatmap {
+		if theMesh == nil {
+			fmt.Println("\n(heatmap is only available for mesh fabrics)")
+		} else {
+			fmt.Println()
+			fmt.Print(trace.MeshHeatmap(theMesh, usage))
+		}
+	}
+	return nil
+}

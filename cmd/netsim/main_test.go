@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	return <-done, ferr
+}
+
+func base() options {
+	return options{
+		topo: "mesh", w: 8, h: 8, nodes: 64, policy: "straight",
+		algo: "opt", k: 12, bytes: 1024, seed: 3,
+	}
+}
+
+func TestMeshOptContentionFree(t *testing.T) {
+	out, err := capture(t, func() error { return run(base()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "contention:          0 blocked") {
+		t.Fatalf("OPT on mesh contended:\n%s", out)
+	}
+}
+
+func TestAllTopologiesAndAlgos(t *testing.T) {
+	for _, topo := range []string{"mesh", "bmin", "bfly"} {
+		for _, algo := range []string{"opt", "opt-tree", "binomial", "sequential"} {
+			o := base()
+			o.topo, o.algo = topo, algo
+			if _, err := capture(t, func() error { return run(o) }); err != nil {
+				t.Fatalf("%s/%s: %v", topo, algo, err)
+			}
+		}
+	}
+}
+
+func TestBMINPolicies(t *testing.T) {
+	for _, pol := range []string{"straight", "dest", "adaptive", "adaptive-dest"} {
+		o := base()
+		o.topo, o.policy = "bmin", pol
+		if _, err := capture(t, func() error { return run(o) }); err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+	}
+}
+
+func TestVerboseAndTraceOutputs(t *testing.T) {
+	o := base()
+	o.verbose, o.gantt, o.heatmap = true, true, true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"deliveries", "message timeline", "hottest channels", "heatmap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmapRequiresMesh(t *testing.T) {
+	o := base()
+	o.topo, o.heatmap = "bfly", true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "only available for mesh") {
+		t.Fatalf("missing mesh-only note:\n%s", out)
+	}
+}
+
+func TestAddrBytesFlag(t *testing.T) {
+	o := base()
+	o.addrB = 16
+	if _, err := capture(t, func() error { return run(o) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for name, mut := range map[string]func(*options){
+		"bad topo":   func(o *options) { o.topo = "ring" },
+		"bad algo":   func(o *options) { o.algo = "magic" },
+		"bad policy": func(o *options) { o.topo, o.policy = "bmin", "zigzag" },
+		"k too big":  func(o *options) { o.k = 1000 },
+	} {
+		o := base()
+		mut(&o)
+		if _, err := capture(t, func() error { return run(o) }); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

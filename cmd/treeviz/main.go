@@ -1,0 +1,88 @@
+// Command treeviz prints multicast trees and their analytic schedules for
+// given model parameters — the tool behind the paper's Figure 1 example.
+//
+// Usage:
+//
+//	treeviz -k 8 -thold 20 -tend 55          # the paper's example
+//	treeviz -k 32 -thold 100 -tend 700 -root 5 -shape binomial
+//	treeviz -k 16 -thold 20 -tend 55 -schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 8, "multicast size (source + k-1 destinations)")
+		thold    = flag.Int64("thold", 20, "t_hold in cycles")
+		tend     = flag.Int64("tend", 55, "t_end in cycles")
+		root     = flag.Int("root", 0, "source position in the chain")
+		shape    = flag.String("shape", "opt", "tree shape: opt, binomial, sequential")
+		schedule = flag.Bool("schedule", false, "print the full timed send schedule")
+	)
+	flag.Parse()
+
+	if err := run(*k, *thold, *tend, *root, *shape, *schedule); err != nil {
+		fmt.Fprintln(os.Stderr, "treeviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(k int, thold, tend int64, root int, shape string, schedule bool) error {
+	if k < 1 {
+		return fmt.Errorf("k must be >= 1")
+	}
+	if root < 0 || root >= k {
+		return fmt.Errorf("root %d outside [0,%d)", root, k)
+	}
+	var tab core.SplitTable
+	switch shape {
+	case "opt":
+		tab = core.NewOptTable(k, thold, tend)
+	case "binomial":
+		tab = core.BinomialTable{Max: k}
+	case "sequential":
+		tab = core.SequentialTable{Max: k}
+	default:
+		return fmt.Errorf("unknown shape %q", shape)
+	}
+
+	tree, err := plan.Tree(tab, chain.Segment{L: 0, R: k - 1}, root)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s tree, k=%d, t_hold=%d, t_end=%d, source at chain position %d\n",
+		shape, k, thold, tend, root)
+	fmt.Printf("latency: %d cycles   depth: %d   max fanout: %d   sends: %d\n",
+		tree.Eval(thold, tend), tree.Depth(), tree.MaxFanout(), tree.Sends())
+	if opt, ok := tab.(*core.OptTable); ok {
+		fmt.Printf("optimal t[k] from Algorithm 2.1: %d\n", opt.T(k))
+	} else {
+		fmt.Printf("optimal t[k] for comparison: %d\n", core.NewOptTable(k, thold, tend).T(k))
+	}
+	fmt.Println("\ntree (chain positions, children in send order):")
+	fmt.Print(tree.String())
+
+	if schedule {
+		ids := make(chain.Chain, k)
+		for i := range ids {
+			ids[i] = i
+		}
+		s, err := plan.BuildSchedule(tab, ids, root, thold, tend)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\ntimed schedule (issue  arrive  from -> to  [segment]):")
+		for _, e := range s.Entries {
+			fmt.Printf("  %6d %7d  %3d -> %-3d %v\n", e.Issue, e.Arrive, e.From, e.To, e.Seg)
+		}
+	}
+	return nil
+}

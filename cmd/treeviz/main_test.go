@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	return <-done, ferr
+}
+
+func TestPaperExample(t *testing.T) {
+	out, err := capture(t, func() error { return run(8, 20, 55, 0, "opt", true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "latency: 130 cycles") {
+		t.Fatalf("missing optimal latency:\n%s", out)
+	}
+	if !strings.Contains(out, "timed schedule") || strings.Count(out, "->") < 7 {
+		t.Fatalf("schedule missing sends:\n%s", out)
+	}
+}
+
+func TestShapes(t *testing.T) {
+	for _, shape := range []string{"opt", "binomial", "sequential"} {
+		out, err := capture(t, func() error { return run(16, 100, 700, 5, shape, false) })
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if !strings.Contains(out, shape+" tree") {
+			t.Fatalf("%s: header missing:\n%s", shape, out)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []func() error{
+		func() error { return run(0, 20, 55, 0, "opt", false) },
+		func() error { return run(8, 20, 55, 9, "opt", false) },
+		func() error { return run(8, 20, 55, -1, "opt", false) },
+		func() error { return run(8, 20, 55, 0, "nope", false) },
+	}
+	for i, fn := range cases {
+		if _, err := capture(t, fn); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

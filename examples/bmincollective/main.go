@@ -1,0 +1,98 @@
+// Bmincollective broadcasts to every node of a simulated 128-node BMIN
+// (the IBM SP-style fabric of the paper's second experiment set) and
+// compares U-min against the tuned OPT-min, for several message sizes.
+// It also shows the effect of the ascent policy on the *untuned*
+// OPT-tree — the "turnaround routing has more communication paths"
+// observation of the paper's Section 5.
+//
+// Run with:
+//
+//	go run ./examples/bmincollective
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const nodes = 128
+	soft := repro.DefaultSoftware()
+	cfg := repro.RunConfig{Software: soft}
+	fabric := repro.DefaultFabricConfig()
+
+	// Broadcast: the chain is every node, source at node 0.
+	addrs := make([]int, nodes)
+	for i := range addrs {
+		addrs[i] = i
+	}
+
+	fmt.Println("full 128-node broadcast on a BMIN (straight ascent):")
+	fmt.Printf("%8s  %10s  %10s  %9s\n", "bytes", "U-min", "OPT-min", "speedup")
+	for _, bytes := range []int{512, 4096, 32768} {
+		b := repro.NewBMIN(nodes, repro.AscentStraight)
+		tend, err := repro.MeasureUnicast(repro.NewNetwork(b, fabric), 0, nodes-1, bytes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		thold := soft.Hold.At(bytes)
+		ch := repro.NewChain(addrs, b.LexLess)
+
+		run := func(tab repro.SplitTable) int64 {
+			res, err := repro.RunMulticast(repro.NewNetwork(b, fabric), tab, ch, 0, bytes, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.BlockedCycles != 0 {
+				log.Fatalf("tuned broadcast contended: %d blocked cycles", res.BlockedCycles)
+			}
+			return res.Latency
+		}
+		umin := run(repro.BinomialTable{Max: nodes})
+		optmin := run(repro.NewOptTable(nodes, thold, tend))
+		fmt.Printf("%8d  %10d  %10d  %8.2fx\n", bytes, umin, optmin, float64(umin)/float64(optmin))
+	}
+
+	// The ascent policy does not matter for the tuned OPT-min (it is
+	// contention-free anyway), but it matters a lot for the untuned
+	// OPT-tree: adaptive ascent soaks up contention with the BMIN's
+	// path multiplicity.
+	fmt.Println("\nuntuned OPT-tree contention vs ascent policy (k=32, 4 KB):")
+	const k, bytes = 32, 4096
+	sub := addrs[:0]
+	for i := 0; i < nodes; i += 4 {
+		sub = append(sub, i) // a spread-out 32-node subset
+	}
+	for _, pol := range []repro.AscentPolicy{
+		repro.AscentStraight, repro.AscentDest, repro.AscentAdaptive, repro.AscentAdaptiveDest,
+	} {
+		b := repro.NewBMIN(nodes, pol)
+		tend, err := repro.MeasureUnicast(repro.NewNetwork(b, fabric), 0, nodes-1, bytes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab := repro.NewOptTable(k, soft.Hold.At(bytes), tend)
+		ch := repro.UnorderedChain(shuffle(sub))
+		res, err := repro.RunMulticast(repro.NewNetwork(b, fabric), tab, ch, 0, bytes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s latency %6d, blocked %5d cycles\n", pol, res.Latency, res.BlockedCycles)
+	}
+}
+
+// shuffle returns a deterministic pseudo-random permutation of the slice.
+func shuffle(in []int) []int {
+	out := append([]int(nil), in...)
+	s := uint64(0xdecafbad)
+	for i := len(out) - 1; i > 0; i-- {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		j := int(s % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+// Quickstart: build an optimal multicast tree from two measured
+// parameters and compare it with the classic binomial tree — the paper's
+// core result in thirty lines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The parameterized model reduces a machine to two easily measured
+	// numbers per message size: t_hold (the gap a processor needs
+	// between consecutive sends) and t_end (end-to-end unicast latency).
+	// These are the paper's Figure 1 values.
+	const (
+		thold = repro.Time(20)
+		tend  = repro.Time(55)
+		k     = 8 // one source + seven destinations
+	)
+
+	// Algorithm 2.1: the optimal split table for every multicast size up
+	// to k, in O(k).
+	opt := repro.NewOptTable(k, thold, tend)
+	fmt.Printf("optimal %d-node multicast latency: %d cycles\n", k, opt.T(k))
+
+	// The binomial tree (the basis of U-mesh and U-min) is only optimal
+	// when t_hold = t_end; here it loses by 27%%.
+	bino := repro.Latency(repro.BinomialTable{Max: k}, k, thold, tend)
+	fmt.Printf("binomial tree latency:            %d cycles\n", bino)
+
+	// The sequential (separate addressing) tree for contrast.
+	seq := repro.Latency(repro.SequentialTable{Max: k}, k, thold, tend)
+	fmt.Printf("sequential tree latency:          %d cycles\n", seq)
+
+	// Sanity: the O(k) table equals the exhaustive O(k^2) optimum.
+	if oracle := repro.OptimalLatency(k, thold, tend); oracle != opt.T(k) {
+		log.Fatalf("DP disagrees with oracle: %d vs %d", opt.T(k), oracle)
+	}
+
+	// The same table drives the architecture-dependent planners: here is
+	// the worked example of the paper's Figure 1, including the tree.
+	fig, err := repro.Figure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFigure 1 example — OPT %d vs U-mesh %d (paper: 130 vs 165)\n",
+		fig.OptLatency, fig.UMeshLat)
+	fmt.Println("OPT tree (chain positions, children in send order):")
+	fmt.Print(fig.OptTree.String())
+}

@@ -1,0 +1,106 @@
+// Verification demonstrates the two independent ways this library proves
+// a multicast schedule contention-free, and what the diagnostics look
+// like when a schedule is NOT:
+//
+//  1. the static checker (repro.ContentionChecker) expands the analytic
+//     schedule and intersects fabric paths of time-overlapping sends;
+//  2. the flit-level simulator executes the schedule and counts blocked
+//     header cycles, with tracing observers localizing every stall.
+//
+// The two implementations share no code paths, so their agreement is the
+// strongest evidence this reproduction offers for the paper's Theorems 1
+// and 2.
+//
+// Run with:
+//
+//	go run ./examples/verification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		k     = 24
+		bytes = 4096
+	)
+	m := repro.NewMesh2D(16, 16)
+	soft := repro.DefaultSoftware()
+	cfg := repro.RunConfig{Software: soft}
+	fabric := repro.DefaultFabricConfig()
+
+	// Measure the machine.
+	tend, err := repro.MeasureUnicast(repro.NewNetwork(m, fabric), m.Addr(0, 0), m.Addr(5, 5), bytes, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	thold := soft.Hold.At(bytes)
+	tab := repro.NewOptTable(k, thold, tend)
+
+	// A fixed spread of destinations.
+	addrs := make([]int, k)
+	for i := range addrs {
+		addrs[i] = (i*37 + 5) % 256
+	}
+
+	checker := &repro.ContentionChecker{Topo: m, Software: soft, Slack: 100, Limit: 3}
+
+	for _, ordered := range []bool{true, false} {
+		var ch repro.Chain
+		name := "OPT-mesh (dimension-ordered)"
+		if ordered {
+			ch = repro.NewChain(addrs, m.DimOrderLess)
+		} else {
+			ch = repro.UnorderedChain(addrs)
+			name = "OPT-tree (unordered)"
+		}
+		root, _ := ch.Index(addrs[0])
+
+		// Proof 1: static.
+		conflicts, err := checker.Check(tab, ch, root, bytes, thold, tend)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Proof 2: dynamic, with tracing.
+		net := repro.NewNetwork(m, fabric)
+		usage := repro.NewChannelUsage(m)
+		net.SetObserver(usage)
+		res, err := repro.RunMulticast(net, tab, ch, root, bytes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  static checker:   %d conflicting send pairs\n", len(conflicts))
+		for _, c := range conflicts {
+			fmt.Printf("    %s\n", checker.Describe(c))
+		}
+		fmt.Printf("  simulator:        %d blocked header cycles, latency %d\n", res.BlockedCycles, res.Latency)
+		if (len(conflicts) == 0) != (res.BlockedCycles == 0) {
+			log.Fatal("the two verifiers disagree — please file a bug")
+		}
+		if res.BlockedCycles > 0 {
+			fmt.Println("  hottest channels under contention:")
+			fmt.Print(indent(usage.Report(4)))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Both verifiers agree: ordering is what makes the optimal tree real.")
+}
+
+func indent(s string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += "    " + s[start:i+1]
+			start = i + 1
+		}
+	}
+	return out
+}

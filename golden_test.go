@@ -1,0 +1,36 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/wormhole"
+)
+
+// TestGoldenPipeline pins the byte-exact output of a small end-to-end
+// sweep — calibration, placement sampling, flit-level simulation of all
+// three algorithms, aggregation and rendering. Any semantic change in
+// any layer (simulator timing, PRNG stream, planner, statistics,
+// formatting) shows up here first. If you change simulator semantics
+// deliberately, regenerate this constant and record why in the commit.
+func TestGoldenPipeline(t *testing.T) {
+	const golden = "golden\n" +
+		"y: multicast latency (cycles)\n" +
+		"message size (bytes)    U-mesh  OPT-tree  OPT-mesh\n" +
+		"--------------------  --------  --------  --------\n" +
+		"                 512   3098 ±3   2560 ±5   2553 ±2\n" +
+		"                4096   7664 ±3   6141 ±5   6134 ±2\n" +
+		"# measured t_hold(512B)=477 t_end(512B)=1033\n" +
+		"# measured t_hold(4096B)=1014 t_end(4096B)=2555\n" +
+		"# 3 random placements per point on 8x8 mesh, seed 1997\n"
+
+	s := exp.DefaultSuite(exp.MeshPlatform(8, 8, wormhole.DefaultConfig()))
+	s.Trials = 3
+	tab, err := s.SweepSizes("golden", 8, []int{512, 4096}, exp.MeshAlgorithms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.Format(); got != golden {
+		t.Fatalf("pipeline output drifted.\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}

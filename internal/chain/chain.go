@@ -1,0 +1,85 @@
+// Package chain provides the ordered-chain abstraction shared by every
+// multicast planner in this repository.
+//
+// The architecture-dependent algorithms of the paper (OPT-mesh, OPT-min,
+// U-mesh, U-min) all operate on a chain: the source and destination
+// addresses sorted by an architecture-specific total order (the
+// dimension order <_d for meshes, the lexicographic order for BMINs).
+// Contention-freedom then follows from the fact that concurrent messages
+// always travel within disjoint contiguous chain segments.
+package chain
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Chain is a sequence of distinct node addresses in planning order.
+// Element 0 is the chain head (the lowest node under the ordering).
+type Chain []int
+
+// New returns the given addresses sorted by less. The input slice is not
+// modified. less must be a strict weak ordering on addresses.
+func New(addrs []int, less func(a, b int) bool) Chain {
+	c := make(Chain, len(addrs))
+	copy(c, addrs)
+	sort.Slice(c, func(i, j int) bool { return less(c[i], c[j]) })
+	return c
+}
+
+// Unordered returns the addresses as a chain in their given order, for the
+// architecture-independent OPT-tree which knows nothing about addresses.
+func Unordered(addrs []int) Chain {
+	c := make(Chain, len(addrs))
+	copy(c, addrs)
+	return c
+}
+
+// Validate reports an error if the chain is empty or contains duplicates.
+func (c Chain) Validate() error {
+	if len(c) == 0 {
+		return fmt.Errorf("chain: empty chain")
+	}
+	seen := make(map[int]int, len(c))
+	for i, a := range c {
+		if prev, dup := seen[a]; dup {
+			return fmt.Errorf("chain: address %d appears at positions %d and %d", a, prev, i)
+		}
+		seen[a] = i
+	}
+	return nil
+}
+
+// Index returns the position of addr in the chain, or false if absent.
+func (c Chain) Index(addr int) (int, bool) {
+	for i, a := range c {
+		if a == addr {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Sorted reports whether the chain is sorted under less.
+func (c Chain) Sorted(less func(a, b int) bool) bool {
+	return sort.SliceIsSorted(c, func(i, j int) bool { return less(c[i], c[j]) })
+}
+
+// Segment is a contiguous, inclusive index range [L, R] of a chain, the
+// unit of responsibility the planners subdivide.
+type Segment struct{ L, R int }
+
+// Len returns the number of chain positions covered by the segment.
+func (s Segment) Len() int { return s.R - s.L + 1 }
+
+// Contains reports whether chain index i lies inside the segment.
+func (s Segment) Contains(i int) bool { return s.L <= i && i <= s.R }
+
+// Overlaps reports whether the two segments share any chain position.
+func (s Segment) Overlaps(o Segment) bool { return s.L <= o.R && o.L <= s.R }
+
+// Valid reports whether the segment is non-empty and within a chain of n
+// elements.
+func (s Segment) Valid(n int) bool { return 0 <= s.L && s.L <= s.R && s.R < n }
+
+func (s Segment) String() string { return fmt.Sprintf("[%d,%d]", s.L, s.R) }

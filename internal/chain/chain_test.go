@@ -1,0 +1,124 @@
+package chain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsByLess(t *testing.T) {
+	addrs := []int{5, 3, 9, 1, 7}
+	c := New(addrs, func(a, b int) bool { return a < b })
+	want := []int{1, 3, 5, 7, 9}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", c, want)
+		}
+	}
+	if addrs[0] != 5 {
+		t.Fatal("New mutated the input slice")
+	}
+	if !c.Sorted(func(a, b int) bool { return a < b }) {
+		t.Fatal("Sorted reports unsorted for a sorted chain")
+	}
+}
+
+func TestNewDescendingOrder(t *testing.T) {
+	c := New([]int{1, 2, 3}, func(a, b int) bool { return a > b })
+	if c[0] != 3 || c[2] != 1 {
+		t.Fatalf("descending chain = %v", c)
+	}
+}
+
+func TestUnorderedPreservesOrder(t *testing.T) {
+	addrs := []int{9, 2, 7}
+	c := Unordered(addrs)
+	for i := range addrs {
+		if c[i] != addrs[i] {
+			t.Fatalf("Unordered reordered: %v", c)
+		}
+	}
+	addrs[0] = 100
+	if c[0] == 100 {
+		t.Fatal("Unordered aliases the input slice")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Chain{}).Validate(); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if err := (Chain{1, 2, 1}).Validate(); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := (Chain{3, 1, 2}).Validate(); err != nil {
+		t.Errorf("valid chain rejected: %v", err)
+	}
+}
+
+func TestIndex(t *testing.T) {
+	c := Chain{10, 20, 30}
+	if i, ok := c.Index(20); !ok || i != 1 {
+		t.Fatalf("Index(20) = %d,%v", i, ok)
+	}
+	if _, ok := c.Index(99); ok {
+		t.Fatal("Index found absent address")
+	}
+}
+
+func TestSegmentBasics(t *testing.T) {
+	s := Segment{L: 2, R: 5}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	if !s.Contains(2) || !s.Contains(5) || s.Contains(1) || s.Contains(6) {
+		t.Error("Contains wrong at boundaries")
+	}
+	if !s.Valid(6) || s.Valid(5) {
+		t.Error("Valid wrong: needs chain length > R")
+	}
+	if (Segment{L: 3, R: 2}).Valid(10) {
+		t.Error("inverted segment accepted")
+	}
+	if s.String() != "[2,5]" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSegmentOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Segment
+		want bool
+	}{
+		{Segment{0, 3}, Segment{4, 7}, false},
+		{Segment{0, 3}, Segment{3, 7}, true},
+		{Segment{2, 5}, Segment{0, 9}, true},
+		{Segment{5, 5}, Segment{5, 5}, true},
+		{Segment{6, 9}, Segment{0, 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v overlaps %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+// TestSegmentOverlapQuick: Overlaps agrees with a pointwise check.
+func TestSegmentOverlapQuick(t *testing.T) {
+	f := func(al, alen, bl, blen uint8) bool {
+		a := Segment{L: int(al % 32), R: int(al%32) + int(alen%8)}
+		b := Segment{L: int(bl % 32), R: int(bl%32) + int(blen%8)}
+		brute := false
+		for i := a.L; i <= a.R; i++ {
+			if b.Contains(i) {
+				brute = true
+			}
+		}
+		return a.Overlaps(b) == brute
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

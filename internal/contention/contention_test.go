@@ -1,0 +1,229 @@
+package contention_test
+
+import (
+	"testing"
+
+	"repro/internal/bfly"
+	"repro/internal/bmin"
+	"repro/internal/chain"
+	. "repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/mcastsim"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/wormhole"
+)
+
+var soft = model.Software{
+	Send: model.Linear{Fixed: 200, PerByte: 0.15},
+	Recv: model.Linear{Fixed: 200, PerByte: 0.15},
+	Hold: model.Linear{Fixed: 200, PerByte: 0.15},
+}
+
+func placement(seed uint64, nodes, k int) []int {
+	return sim.NewRNG(seed).Sample(nodes, k)
+}
+
+// TestOptMeshSchedulesConflictFree is a static re-proof of Theorem 1,
+// with generous slack: OPT trees over dimension-ordered chains never
+// share a channel between time-overlapping sends.
+func TestOptMeshSchedulesConflictFree(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	k := &Checker{Topo: m, Software: soft, Slack: 200}
+	const bytes = 4096
+	thold := soft.Hold.At(bytes)
+	tend := model.Time(2500)
+	for seed := uint64(0); seed < 25; seed++ {
+		for _, n := range []int{8, 16, 32, 64} {
+			addrs := placement(seed, 256, n)
+			ch := chain.New(addrs, m.DimOrderLess)
+			root, _ := ch.Index(addrs[0])
+			for _, tab := range []core.SplitTable{
+				core.NewOptTable(n, thold, tend),
+				core.BinomialTable{Max: n},
+			} {
+				conflicts, err := k.Check(tab, ch, root, bytes, thold, tend)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(conflicts) != 0 {
+					t.Fatalf("seed %d n=%d: %s", seed, n, k.Describe(conflicts[0]))
+				}
+			}
+		}
+	}
+}
+
+// TestOptMinSchedulesConflictFree is the static re-proof of Theorem 2 on
+// the straight-ascent BMIN.
+func TestOptMinSchedulesConflictFree(t *testing.T) {
+	b := bmin.New(128, bmin.AscentStraight)
+	k := &Checker{Topo: b, Software: soft, Slack: 200}
+	const bytes = 4096
+	thold := soft.Hold.At(bytes)
+	tend := model.Time(2500)
+	for seed := uint64(50); seed < 70; seed++ {
+		addrs := placement(seed, 128, 32)
+		ch := chain.New(addrs, b.LexLess)
+		root, _ := ch.Index(addrs[0])
+		for _, tab := range []core.SplitTable{
+			core.NewOptTable(32, thold, tend),
+			core.BinomialTable{Max: 32},
+		} {
+			conflicts, err := k.Check(tab, ch, root, bytes, thold, tend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(conflicts) != 0 {
+				t.Fatalf("seed %d: %s", seed, k.Describe(conflicts[0]))
+			}
+		}
+	}
+}
+
+// TestRandomOrderSchedulesConflict: the checker catches the contention
+// the unordered OPT-tree suffers.
+func TestRandomOrderSchedulesConflict(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	k := &Checker{Topo: m, Software: soft, Slack: 0}
+	const bytes = 4096
+	thold := soft.Hold.At(bytes)
+	tend := model.Time(2500)
+	total := 0
+	for seed := uint64(0); seed < 8; seed++ {
+		addrs := placement(seed, 256, 32)
+		ch := chain.Unordered(addrs)
+		conflicts, err := k.Check(core.NewOptTable(32, thold, tend), ch, 0, bytes, thold, tend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(conflicts)
+	}
+	if total == 0 {
+		t.Fatal("checker found no conflicts in 8 random-order multicasts")
+	}
+}
+
+// TestCheckerAgreesWithSimulator: for many random configurations, a
+// checker verdict of "conflict-free" (with slack) implies the simulator
+// records zero blocked cycles, and simulator blocking implies the
+// checker finds a conflict.
+func TestCheckerAgreesWithSimulator(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	const bytes = 4096
+	cfg := mcastsim.Config{Software: soft}
+	fabric := wormhole.DefaultConfig()
+
+	// Measure the real t_end so static windows track simulated ones.
+	tend, err := mcastsim.Unicast(wormhole.New(m, fabric), m.Addr(0, 0), m.Addr(5, 5), bytes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thold := soft.Hold.At(bytes)
+	k := &Checker{Topo: m, Software: soft, Slack: 100}
+
+	for seed := uint64(0); seed < 20; seed++ {
+		addrs := placement(seed, 256, 24)
+		var ch chain.Chain
+		if seed%2 == 0 {
+			ch = chain.New(addrs, m.DimOrderLess)
+		} else {
+			ch = chain.Unordered(addrs)
+		}
+		root, _ := ch.Index(addrs[0])
+		tab := core.NewOptTable(24, thold, tend)
+
+		conflicts, err := k.Check(tab, ch, root, bytes, thold, tend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mcastsim.Run(wormhole.New(m, fabric), tab, ch, root, bytes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(conflicts) == 0 && res.BlockedCycles != 0 {
+			t.Fatalf("seed %d: checker clean but simulator blocked %d cycles", seed, res.BlockedCycles)
+		}
+		if res.BlockedCycles != 0 && len(conflicts) == 0 {
+			t.Fatalf("seed %d: simulator blocked but checker silent", seed)
+		}
+	}
+}
+
+// TestButterflyAlwaysConflicts: on the butterfly even the lex-ordered
+// OPT schedule conflicts for enough placements — the §6 premise.
+func TestButterflyAlwaysConflicts(t *testing.T) {
+	b := bfly.New(64)
+	k := &Checker{Topo: b, Software: soft, Slack: 0}
+	const bytes = 4096
+	thold := soft.Hold.At(bytes)
+	tend := model.Time(2200)
+	total := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		addrs := placement(seed, 64, 24)
+		ch := chain.New(addrs, b.LexLess)
+		root, _ := ch.Index(addrs[0])
+		conflicts, err := k.Check(core.NewOptTable(24, thold, tend), ch, root, bytes, thold, tend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(conflicts)
+	}
+	if total == 0 {
+		t.Fatal("lex-ordered butterfly schedules never conflicted; §6 premise would be false")
+	}
+}
+
+// TestLimitCapsOutput and same-sender exclusion.
+func TestLimitCapsOutput(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	k := &Checker{Topo: m, Software: soft, Slack: 0, Limit: 1}
+	addrs := placement(3, 256, 32)
+	ch := chain.Unordered(addrs)
+	const bytes = 4096
+	thold := soft.Hold.At(bytes)
+	conflicts, err := k.Check(core.NewOptTable(32, thold, 2500), ch, 0, bytes, thold, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) > 1 {
+		t.Fatalf("limit ignored: %d conflicts", len(conflicts))
+	}
+	for _, c := range conflicts {
+		if c.A.From == c.B.From {
+			t.Fatal("same-sender pair reported")
+		}
+		if c.String() == "" {
+			t.Fatal("empty conflict rendering")
+		}
+	}
+}
+
+// TestSequentialTreeConflictFreeOnMesh: the sequential tree has a single
+// sender; one-port serialization means it can never conflict with
+// itself.
+func TestSequentialTreeConflictFree(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	k := &Checker{Topo: m, Software: soft, Slack: 1000}
+	addrs := placement(9, 64, 12)
+	ch := chain.New(addrs, m.DimOrderLess)
+	root, _ := ch.Index(addrs[0])
+	conflicts, err := k.Check(core.SequentialTable{Max: 12}, ch, root, 1024, soft.Hold.At(1024), 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Fatalf("sequential tree conflicts: %s", k.Describe(conflicts[0]))
+	}
+}
+
+// TestCheckRejectsBadChain: addresses outside the fabric error cleanly.
+func TestCheckRejectsBadChain(t *testing.T) {
+	m := mesh.New2D(4, 4)
+	k := &Checker{Topo: m, Software: soft}
+	ch := chain.Chain{0, 99}
+	if _, err := k.Check(core.NewOptTable(2, 1, 2), ch, 0, 64, 1, 2); err == nil {
+		t.Fatal("bad chain accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// TestPaperExampleOptLatency reproduces the worked example of the paper's
+// Figure 1: t_hold = 20, t_end = 55, eight nodes (source + 7
+// destinations). The OPT tree achieves latency 130.
+func TestPaperExampleOptLatency(t *testing.T) {
+	ot := NewOptTable(8, 20, 55)
+	if got := ot.T(8); got != 130 {
+		t.Fatalf("OPT latency for 8 nodes (t_hold=20, t_end=55) = %d, paper says 130", got)
+	}
+}
+
+// TestPaperExampleBinomialLatency reproduces the other half of Figure 1:
+// the U-mesh (binomial) tree with the same parameters has latency 165.
+func TestPaperExampleBinomialLatency(t *testing.T) {
+	got := Latency(BinomialTable{Max: 8}, 8, 20, 55)
+	if got != 165 {
+		t.Fatalf("binomial latency for 8 nodes (t_hold=20, t_end=55) = %d, paper says 165", got)
+	}
+}
+
+// TestOptTableSmallValues walks the DP by hand for the paper-example
+// parameters and checks every intermediate t[i].
+func TestOptTableSmallValues(t *testing.T) {
+	ot := NewOptTable(8, 20, 55)
+	want := []model.Time{0, 0, 55, 75, 95, 110, 115, 130, 130}
+	for i := 1; i <= 8; i++ {
+		if ot.T(i) != want[i] {
+			t.Errorf("t[%d] = %d, want %d", i, ot.T(i), want[i])
+		}
+	}
+}
+
+// TestOptMatchesExhaustive validates the O(k) two-candidate DP against the
+// full O(k^2) minimization for a grid of parameter ratios and sizes.
+func TestOptMatchesExhaustive(t *testing.T) {
+	params := []struct{ h, e model.Time }{
+		{1, 1}, {1, 2}, {1, 5}, {20, 55}, {3, 7}, {10, 11}, {1, 100}, {7, 7},
+		{0, 1}, {0, 5}, {5, 5},
+	}
+	for _, p := range params {
+		ot := NewOptTable(64, p.h, p.e)
+		for k := 1; k <= 64; k++ {
+			want := OptimalLatency(k, p.h, p.e)
+			if got := ot.T(k); got != want {
+				t.Fatalf("h=%d e=%d k=%d: DP latency %d != exhaustive %d", p.h, p.e, k, got, want)
+			}
+		}
+	}
+}
+
+// TestOptMatchesExhaustiveQuick property-checks DP optimality on random
+// parameters.
+func TestOptMatchesExhaustiveQuick(t *testing.T) {
+	f := func(hr, er uint16, kr uint8) bool {
+		h := model.Time(hr % 500)
+		e := h + model.Time(er%500) // keep t_hold <= t_end, the paper's regime
+		if e == 0 {
+			e = 1
+		}
+		k := int(kr%40) + 1
+		return NewOptTable(k, h, e).T(k) == OptimalLatency(k, h, e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptSplitMajority verifies the invariant the planners rely on: with
+// t_hold <= t_end the optimal source-side part always keeps at least half
+// the nodes, J(i) >= ceil(i/2).
+func TestOptSplitMajority(t *testing.T) {
+	f := func(hr, er uint16, kr uint8) bool {
+		h := model.Time(hr % 1000)
+		e := h + model.Time(er%1000)
+		if e == 0 {
+			e = 1
+		}
+		k := int(kr%60) + 2
+		ot := NewOptTable(k, h, e)
+		for i := 2; i <= k; i++ {
+			if ot.J(i) < (i+1)/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptLatencyMonotonic checks t[i] is non-decreasing in i and
+// non-decreasing in each parameter.
+func TestOptLatencyMonotonic(t *testing.T) {
+	ot := NewOptTable(100, 20, 55)
+	for i := 2; i <= 100; i++ {
+		if ot.T(i) < ot.T(i-1) {
+			t.Fatalf("t[%d]=%d < t[%d]=%d", i, ot.T(i), i-1, ot.T(i-1))
+		}
+	}
+	for k := 2; k <= 40; k++ {
+		a := NewOptTable(k, 20, 55).T(k)
+		b := NewOptTable(k, 21, 55).T(k)
+		c := NewOptTable(k, 20, 56).T(k)
+		if b < a || c < a {
+			t.Fatalf("k=%d: latency not monotone in parameters: base=%d, +hold=%d, +end=%d", k, a, b, c)
+		}
+	}
+}
+
+// TestOptEqualsBinomialWhenHoldEqualsEnd: binomial trees are optimal
+// exactly in the t_hold = t_end regime, where the OPT latency must equal
+// the binomial latency ceil(log2 k)*t_end.
+func TestOptEqualsBinomialWhenHoldEqualsEnd(t *testing.T) {
+	const e = 37
+	ot := NewOptTable(256, e, e)
+	for k := 1; k <= 256; k++ {
+		rounds := model.Time(0)
+		for n := 1; n < k; n *= 2 {
+			rounds++
+		}
+		if got, want := ot.T(k), rounds*e; got != want {
+			t.Fatalf("k=%d: OPT latency %d, want binomial %d", k, got, want)
+		}
+		if got := Latency(BinomialTable{Max: 256}, k, e, e); got != ot.T(k) {
+			t.Fatalf("k=%d: binomial %d != OPT %d with t_hold=t_end", k, got, ot.T(k))
+		}
+	}
+}
+
+// TestOptNeverWorseThanBaselines: the OPT latency lower-bounds binomial
+// and sequential trees for any parameters.
+func TestOptNeverWorseThanBaselines(t *testing.T) {
+	f := func(hr, er uint16, kr uint8) bool {
+		h := model.Time(hr % 300)
+		e := model.Time(er%300) + 1
+		k := int(kr%50) + 1
+		opt := NewOptTable(k, h, e).T(k)
+		bin := Latency(BinomialTable{Max: k + 1}, k, h, e)
+		seq := Latency(SequentialTable{Max: k + 1}, k, h, e)
+		return opt <= bin && opt <= seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequentialBeatsBinomialWhenHoldSmall demonstrates the paper's §1
+// claim: the binomial tree "may be outperformed in some networks by ...
+// a sequential tree". With t_hold much smaller than t_end, separate
+// addressing wins.
+func TestSequentialBeatsBinomialWhenHoldSmall(t *testing.T) {
+	const h, e, k = 1, 1000, 16
+	seq := Latency(SequentialTable{Max: k}, k, h, e)
+	bin := Latency(BinomialTable{Max: k}, k, h, e)
+	if seq >= bin {
+		t.Fatalf("sequential %d should beat binomial %d when t_hold << t_end", seq, bin)
+	}
+}
+
+// TestSequentialLatencyClosedForm: with t_hold >= t_end the sequential
+// tree costs (k-2)*t_hold + t_end for k >= 2.
+func TestSequentialLatencyClosedForm(t *testing.T) {
+	for k := 2; k <= 40; k++ {
+		got := Latency(SequentialTable{Max: k}, k, 50, 30)
+		want := model.Time(k-2)*50 + 30
+		if got != want {
+			t.Fatalf("k=%d: sequential latency %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestChainTableLatency: the forwarding chain costs
+// t_end*(k-1) when t_hold <= t_end.
+func TestChainTableLatency(t *testing.T) {
+	for k := 2; k <= 20; k++ {
+		got := Latency(ChainTable{Max: k}, k, 10, 55)
+		if want := model.Time(k-1) * 55; got != want {
+			t.Fatalf("k=%d: chain latency %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestSplitTableBounds checks the documented panics on out-of-range use.
+func TestSplitTableBounds(t *testing.T) {
+	cases := []func(){
+		func() { NewOptTable(0, 1, 1) },
+		func() { NewOptTable(4, -1, 1) },
+		func() { NewOptTable(4, 1, -1) },
+		func() { NewOptTable(4, 1, 1).J(1) },
+		func() { NewOptTable(4, 1, 1).J(5) },
+		func() { NewOptTable(4, 1, 1).T(0) },
+		func() { BinomialTable{Max: 4}.J(5) },
+		func() { SequentialTable{Max: 4}.J(1) },
+		func() { ChainTable{Max: 4}.J(0) },
+		func() { Latency(BinomialTable{Max: 4}, 5, 1, 1) },
+		func() { OptimalLatency(0, 1, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestOptTableDeterministic: same inputs, same table.
+func TestOptTableDeterministic(t *testing.T) {
+	a := NewOptTable(128, 20, 55)
+	b := NewOptTable(128, 20, 55)
+	for i := 2; i <= 128; i++ {
+		if a.J(i) != b.J(i) || a.T(i) != b.T(i) {
+			t.Fatalf("tables diverge at i=%d", i)
+		}
+	}
+}
+
+// TestOptLatencyGrowthLogarithmicAtEquality sanity-checks asymptotics:
+// with t_hold = t_end the latency is Theta(log k); with t_hold = 0 the
+// latency is t_end * ceil(log... it stays bounded by e * ceil(log2 k).
+func TestOptLatencyGrowthBounds(t *testing.T) {
+	const e = 100
+	for _, h := range []model.Time{0, 1, 50, 100} {
+		ot := NewOptTable(1024, h, e)
+		for _, k := range []int{2, 16, 128, 1024} {
+			logk := model.Time(math.Ceil(math.Log2(float64(k))))
+			upper := logk * e
+			if ot.T(k) > upper {
+				t.Fatalf("h=%d k=%d: OPT latency %d exceeds binomial bound %d", h, k, ot.T(k), upper)
+			}
+			if ot.T(k) < e {
+				t.Fatalf("h=%d k=%d: OPT latency %d below single-message bound %d", h, k, ot.T(k), e)
+			}
+		}
+	}
+}

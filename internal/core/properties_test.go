@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+// TestOptSplitStructure: the DP's split sizes are non-decreasing in i and
+// grow by at most one per step — the structural property Algorithm 2.1's
+// O(k) bound rests on.
+func TestOptSplitStructure(t *testing.T) {
+	f := func(hr, er uint16, kr uint8) bool {
+		h := model.Time(hr % 1000)
+		e := h + model.Time(er%1000) + 1
+		k := int(kr%100) + 3
+		ot := NewOptTable(k, h, e)
+		for i := 3; i <= k; i++ {
+			d := ot.J(i) - ot.J(i-1)
+			if d < 0 || d > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptLatencySubadditive: adding a destination costs at most one more
+// t_end (the source could always serve it last with one extra send after
+// everything else, bounded by t[k] + max(t_hold, t_end)).
+func TestOptLatencyIncrementBounded(t *testing.T) {
+	f := func(hr, er uint16, kr uint8) bool {
+		h := model.Time(hr % 500)
+		e := h + model.Time(er%500) + 1
+		k := int(kr%80) + 2
+		ot := NewOptTable(k, h, e)
+		return ot.T(k)-ot.T(k-1) <= e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatencyAgreesWithPaperFormWhenHoldLeqEnd: the delivery-semantics
+// recurrence in Latency equals the paper's literal recurrence (with the
+// unconditional t[j]+t_hold term) whenever t_hold <= t_end.
+func TestLatencyAgreesWithPaperForm(t *testing.T) {
+	paperLatency := func(tab SplitTable, k int, h, e model.Time) model.Time {
+		memo := make([]model.Time, k+1)
+		for n := 2; n <= k; n++ {
+			j := tab.J(n)
+			a, b := memo[j]+h, memo[n-j]+e
+			if a > b {
+				memo[n] = a
+			} else {
+				memo[n] = b
+			}
+		}
+		return memo[k]
+	}
+	f := func(hr, er uint16, kr uint8) bool {
+		h := model.Time(hr % 400)
+		e := h + model.Time(er%400) // h <= e
+		if e == 0 {
+			e = 1
+		}
+		k := int(kr%60) + 1
+		for _, tab := range []SplitTable{
+			NewOptTable(k, h, e),
+			BinomialTable{Max: k},
+			SequentialTable{Max: k},
+		} {
+			if Latency(tab, k, h, e) != paperLatency(tab, k, h, e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func binomialTree(nodes []int) *Tree {
+	// Recursive doubling over the slice: root keeps the first ceil(n/2)
+	// nodes and sends to the head of the rest.
+	if len(nodes) == 0 {
+		return nil
+	}
+	t := &Tree{Node: nodes[0]}
+	// Build by repeatedly splitting off the far half (send order:
+	// largest subtree first), mirroring BinomialTable splits with the
+	// source at position 0.
+	lo, hi := 0, len(nodes)-1 // responsibility over nodes[lo..hi], self at 0
+	for lo < hi {
+		i := hi - lo + 1
+		j := (i + 1) / 2
+		t.Children = append(t.Children, binomialTree(nodes[lo+j:hi+1]))
+		hi = lo + j - 1
+	}
+	return t
+}
+
+// TestTreeEvalBinomialEight: explicit 8-node binomial tree evaluates to
+// the paper's 165 under (20, 55).
+func TestTreeEvalBinomialEight(t *testing.T) {
+	ids := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	tr := binomialTree(ids)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Eval(20, 55); got != 165 {
+		t.Fatalf("binomial tree eval = %d, want 165\n%s", got, tr)
+	}
+}
+
+// TestTreeEvalMatchesSplitLatency: for the binomial split table, the
+// explicit tree evaluation must equal the recurrence-based Latency.
+func TestTreeEvalMatchesSplitLatency(t *testing.T) {
+	for k := 1; k <= 33; k++ {
+		ids := make([]int, k)
+		for i := range ids {
+			ids[i] = i
+		}
+		tr := binomialTree(ids)
+		for _, p := range []struct{ h, e model.Time }{{20, 55}, {7, 7}, {1, 100}} {
+			want := Latency(BinomialTable{Max: k}, k, p.h, p.e)
+			if got := tr.Eval(p.h, p.e); got != want {
+				t.Fatalf("k=%d h=%d e=%d: tree eval %d != recurrence %d", k, p.h, p.e, got, want)
+			}
+		}
+	}
+}
+
+// TestTreeShapeAccessors exercises Size, Depth, MaxFanout, Sends, Nodes.
+func TestTreeShapeAccessors(t *testing.T) {
+	tr := &Tree{Node: 10, Children: []*Tree{
+		{Node: 20, Children: []*Tree{{Node: 40}}},
+		{Node: 30},
+	}}
+	if tr.Size() != 4 {
+		t.Errorf("Size = %d, want 4", tr.Size())
+	}
+	if tr.Depth() != 2 {
+		t.Errorf("Depth = %d, want 2", tr.Depth())
+	}
+	if tr.MaxFanout() != 2 {
+		t.Errorf("MaxFanout = %d, want 2", tr.MaxFanout())
+	}
+	if tr.Sends() != 3 {
+		t.Errorf("Sends = %d, want 3", tr.Sends())
+	}
+	want := []int{10, 20, 40, 30}
+	got := tr.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTreeArrivalsChildOrder: arrivals reflect send order — the second
+// child receives one t_hold later than the first.
+func TestTreeArrivalsChildOrder(t *testing.T) {
+	tr := &Tree{Node: 0, Children: []*Tree{{Node: 1}, {Node: 2}, {Node: 3}}}
+	arr := tr.Arrivals(20, 55)
+	if arr[0] != 0 || arr[1] != 55 || arr[2] != 75 || arr[3] != 95 {
+		t.Fatalf("arrivals = %v, want [0 55 75 95]", arr)
+	}
+}
+
+// TestTreeEvalDegenerate: empty and single-node trees.
+func TestTreeEvalDegenerate(t *testing.T) {
+	var nilTree *Tree
+	if nilTree.Eval(1, 2) != 0 || nilTree.Size() != 0 || nilTree.Depth() != 0 {
+		t.Fatal("nil tree should be a zero-latency empty tree")
+	}
+	single := &Tree{Node: 5}
+	if single.Eval(20, 55) != 0 {
+		t.Fatalf("single-node eval = %d, want 0", single.Eval(20, 55))
+	}
+}
+
+// TestTreeValidateRejectsDuplicates and nils.
+func TestTreeValidate(t *testing.T) {
+	dup := &Tree{Node: 1, Children: []*Tree{{Node: 1}}}
+	if dup.Validate() == nil {
+		t.Error("duplicate node not detected")
+	}
+	hasNil := &Tree{Node: 1, Children: []*Tree{nil}}
+	if hasNil.Validate() == nil {
+		t.Error("nil child not detected")
+	}
+	var none *Tree
+	if none.Validate() == nil {
+		t.Error("nil tree not detected")
+	}
+	ok := &Tree{Node: 1, Children: []*Tree{{Node: 2}, {Node: 3}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid tree rejected: %v", err)
+	}
+}
+
+// TestTreeRelabel maps identities and preserves structure.
+func TestTreeRelabel(t *testing.T) {
+	tr := &Tree{Node: 0, Children: []*Tree{{Node: 1}, {Node: 2, Children: []*Tree{{Node: 3}}}}}
+	addr := []int{100, 200, 300, 400}
+	re := tr.Relabel(func(i int) int { return addr[i] })
+	if re.Node != 100 || re.Children[1].Children[0].Node != 400 {
+		t.Fatalf("relabel wrong: %s", re)
+	}
+	if tr.Node != 0 {
+		t.Fatal("relabel mutated the original")
+	}
+	if re.Eval(20, 55) != tr.Eval(20, 55) {
+		t.Fatal("relabel changed latency")
+	}
+}
+
+// TestTreeEvalMonotoneInParams: raising either parameter can only raise
+// the evaluated latency, for random binomial trees.
+func TestTreeEvalMonotoneInParams(t *testing.T) {
+	f := func(kr uint8, h1, e1, dh, de uint8) bool {
+		k := int(kr%30) + 1
+		ids := make([]int, k)
+		for i := range ids {
+			ids[i] = i
+		}
+		tr := binomialTree(ids)
+		h, e := model.Time(h1), model.Time(e1)
+		base := tr.Eval(h, e)
+		return tr.Eval(h+model.Time(dh), e+model.Time(de)) >= base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders the table's mean columns as an ASCII scatter/line chart
+// resembling the paper's figures: x spans the row values, y the latency
+// range, one letter per algorithm ('*' where series overlap). Useful for
+// eyeballing crossovers directly in a terminal.
+func (t *Table) Chart(width, height int) string {
+	if len(t.Rows) == 0 || len(t.Algorithms) == 0 {
+		return "(empty table)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+
+	minX, maxX := t.Rows[0].X, t.Rows[0].X
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, r := range t.Rows {
+		if r.X < minX {
+			minX = r.X
+		}
+		if r.X > maxX {
+			maxX = r.X
+		}
+		for _, c := range r.Cells {
+			if c.Mean < minY {
+				minY = c.Mean
+			}
+			if c.Mean > maxY {
+				maxY = c.Mean
+			}
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		cx := int((x - minX) / (maxX - minX) * float64(width-1))
+		cy := int((y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - cy // y grows upward
+		if grid[row][cx] != ' ' && grid[row][cx] != mark {
+			grid[row][cx] = '*'
+		} else {
+			grid[row][cx] = mark
+		}
+	}
+	for ai := range t.Algorithms {
+		mark := byte('a' + ai%26)
+		for _, r := range t.Rows {
+			plot(r.X, r.Cells[ai].Mean, mark)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", t.Title, t.YLabel)
+	yTop := fmt.Sprintf("%.0f", maxY)
+	yBot := fmt.Sprintf("%.0f", minY)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%*s\n", strings.Repeat(" ", pad), width/2, trimFloat(minX), width-width/2, trimFloat(maxX))
+	fmt.Fprintf(&b, "%s  x: %s\n", strings.Repeat(" ", pad), t.XLabel)
+	for ai, name := range t.Algorithms {
+		fmt.Fprintf(&b, "%s  %c = %s\n", strings.Repeat(" ", pad), byte('a'+ai%26), name)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRendersAllSeries(t *testing.T) {
+	tab := RatioAblation(16, 1000, []float64{0.1, 0.5, 1.0})
+	c := tab.Chart(60, 12)
+	for _, mark := range []string{"a = OPT", "b = binomial", "c = sequential"} {
+		if !strings.Contains(c, mark) {
+			t.Fatalf("legend missing %q:\n%s", mark, c)
+		}
+	}
+	// All three marks (or collision stars) must appear in the plot area.
+	body := c[:strings.Index(c, "a = OPT")]
+	for _, mark := range []string{"a", "b", "c"} {
+		if !strings.Contains(body, mark) && !strings.Contains(body, "*") {
+			t.Fatalf("mark %q never plotted:\n%s", mark, c)
+		}
+	}
+	if !strings.Contains(c, tab.Title) || !strings.Contains(c, tab.XLabel) {
+		t.Fatal("chart missing title or x label")
+	}
+}
+
+func TestChartAxisLabels(t *testing.T) {
+	tab := RatioAblation(16, 1000, []float64{0.5, 1.0})
+	c := tab.Chart(40, 8)
+	// The y extremes are the min and max means across all cells.
+	if !strings.Contains(c, "500") { // 0.5 * 1000 on the x axis, rendered
+		t.Fatalf("x min missing:\n%s", c)
+	}
+	if !strings.Contains(c, "1000") {
+		t.Fatalf("x max missing:\n%s", c)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	empty := &Table{}
+	if !strings.Contains(empty.Chart(40, 8), "empty") {
+		t.Fatal("empty table not handled")
+	}
+	// Single row, single algorithm, constant value: no division by zero.
+	one := &Table{
+		Title: "t", XLabel: "x", YLabel: "y",
+		Algorithms: []string{"only"},
+		Rows:       []Row{{X: 5, Cells: []Cell{{Mean: 7}}}},
+	}
+	c := one.Chart(3, 2) // clamped up to minimums
+	if c == "" || !strings.Contains(c, "only") {
+		t.Fatalf("degenerate chart: %q", c)
+	}
+}
+
+func TestChartCollisionsMarked(t *testing.T) {
+	tab := &Table{
+		Title: "overlap", XLabel: "x", YLabel: "y",
+		Algorithms: []string{"p", "q"},
+		Rows: []Row{
+			{X: 0, Cells: []Cell{{Mean: 1}, {Mean: 1}}},
+			{X: 1, Cells: []Cell{{Mean: 2}, {Mean: 1}}},
+		},
+	}
+	c := tab.Chart(30, 6)
+	if !strings.Contains(c, "*") {
+		t.Fatalf("coincident points not starred:\n%s", c)
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/wormhole"
+)
+
+// TestHypercubeSizesContentionFree: experiment H1's structural claims —
+// both ordered algorithms contention-free, OPT-cube never worse than
+// U-cube.
+func TestHypercubeSizesContentionFree(t *testing.T) {
+	s := DefaultSuite(HypercubePlatform(6, wormhole.DefaultConfig())) // 64 nodes
+	s.Trials = 4
+	tab, err := HypercubeSizes(s, 16, []int{2048, 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		ucube, _, optcube := r.Cells[0], r.Cells[1], r.Cells[2]
+		if ucube.Blocked != 0 || optcube.Blocked != 0 {
+			t.Fatalf("x=%v: ordered hypercube algorithms contended (%v, %v)", r.X, ucube.Blocked, optcube.Blocked)
+		}
+		if optcube.Mean > ucube.Mean {
+			t.Fatalf("x=%v: OPT-cube %v worse than U-cube %v", r.X, optcube.Mean, ucube.Mean)
+		}
+	}
+}
+
+// TestButterflyTemporalStructure: ordered OPT never loses to the random
+// OPT-tree on average, and binomial is worst (shape dominates ordering).
+func TestButterflyTemporalStructure(t *testing.T) {
+	s := DefaultSuite(ButterflyPlatform(64, wormhole.DefaultConfig()))
+	s.Trials = 6
+	tab, err := ButterflyTemporal(s, 20, []int{8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Rows[0]
+	random, lex, bino := r.Cells[0], r.Cells[1], r.Cells[2]
+	if lex.Mean > random.Mean {
+		t.Fatalf("lex-ordered OPT (%v) worse than random OPT (%v)", lex.Mean, random.Mean)
+	}
+	if bino.Mean <= lex.Mean {
+		t.Fatalf("binomial (%v) should lose to OPT shapes (%v)", bino.Mean, lex.Mean)
+	}
+}
+
+// TestConcurrentInterferenceMonotone: more simultaneous groups cannot
+// reduce latency; the single-group row matches solo exactly.
+func TestConcurrentInterferenceMonotone(t *testing.T) {
+	s := DefaultSuite(MeshPlatform(16, 16, wormhole.DefaultConfig()))
+	s.Trials = 4
+	tab, err := ConcurrentInterference(s, []int{1, 2, 4}, 12, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tab.Rows[0]
+	if first.Cells[0].Mean != first.Cells[1].Mean {
+		t.Fatalf("1-group concurrent (%v) != solo (%v)", first.Cells[1].Mean, first.Cells[0].Mean)
+	}
+	if first.Cells[2].Mean != 0 {
+		t.Fatalf("single OPT-mesh group blocked %v cycles", first.Cells[2].Mean)
+	}
+	for _, r := range tab.Rows {
+		if r.Cells[1].Mean < r.Cells[0].Mean {
+			t.Fatalf("g=%v: concurrent (%v) faster than solo (%v)", r.X, r.Cells[1].Mean, r.Cells[0].Mean)
+		}
+	}
+}
+
+// TestModelValidationTight: the analytic t[k] predicts contention-free
+// simulated latency within 2% at every tested size.
+func TestModelValidationTight(t *testing.T) {
+	s := DefaultSuite(MeshPlatform(8, 8, wormhole.DefaultConfig()))
+	s.Trials = 4
+	tab, err := ModelValidation(s, []int{4, 16, 48}, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		errPerMille := r.Cells[2].Mean
+		if errPerMille < -20 || errPerMille > 20 {
+			t.Fatalf("k=%v: model error %v per mille exceeds 2%%", r.X, errPerMille)
+		}
+	}
+}
+
+// TestBroadcastCrossoverShape: scatter-collect loses at small sizes and
+// wins at large ones; the OPT tree always beats U-mesh; trees are
+// contention-free on the mesh while scatter-collect's wrap send is not
+// required to be.
+func TestBroadcastCrossoverShape(t *testing.T) {
+	s := DefaultSuite(MeshPlatform(8, 8, wormhole.DefaultConfig()))
+	tab, err := BroadcastCrossover(s, []int{256, 1 << 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := tab.Rows[0], tab.Rows[1]
+	if small.Cells[2].Mean <= small.Cells[1].Mean {
+		t.Fatalf("small: scatter-collect %v should lose to OPT tree %v", small.Cells[2].Mean, small.Cells[1].Mean)
+	}
+	if large.Cells[2].Mean >= large.Cells[1].Mean {
+		t.Fatalf("large: scatter-collect %v should beat OPT tree %v", large.Cells[2].Mean, large.Cells[1].Mean)
+	}
+	for _, r := range tab.Rows {
+		if r.Cells[1].Mean > r.Cells[0].Mean {
+			t.Fatalf("OPT tree %v worse than U-mesh %v", r.Cells[1].Mean, r.Cells[0].Mean)
+		}
+		if r.Cells[0].Blocked != 0 || r.Cells[1].Blocked != 0 {
+			t.Fatalf("tree broadcasts contended: %+v", r)
+		}
+	}
+}
+
+// TestTorusSizesStructure: T1's claims — ordered OPT-torus beats
+// U-torus, and the random OPT-tree contends more than the ordered one.
+func TestTorusSizesStructure(t *testing.T) {
+	s := DefaultSuite(TorusPlatform(8, 8, wormhole.DefaultConfig()))
+	s.Trials = 6
+	tab, err := TorusSizes(s, 20, []int{4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Rows[0]
+	utorus, opttree, opttorus := r.Cells[0], r.Cells[1], r.Cells[2]
+	if opttorus.Mean > utorus.Mean {
+		t.Fatalf("OPT-torus %v worse than U-torus %v", opttorus.Mean, utorus.Mean)
+	}
+	if opttree.Blocked < opttorus.Blocked {
+		t.Fatalf("random order contends less (%v) than dimension order (%v)", opttree.Blocked, opttorus.Blocked)
+	}
+}
+
+// TestTemporalTuningImproves: tuned ordering never blocks more than the
+// random ordering on average, and its latency is no worse.
+func TestTemporalTuningImproves(t *testing.T) {
+	s := DefaultSuite(ButterflyPlatform(64, wormhole.DefaultConfig()))
+	s.Trials = 4
+	tab, err := TemporalTuning(s, 20, 4096, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Rows[0]
+	randomBlocked, tunedBlocked := r.Cells[0].Mean, r.Cells[2].Mean
+	if tunedBlocked > randomBlocked {
+		t.Fatalf("tuning increased contention: %v -> %v", randomBlocked, tunedBlocked)
+	}
+	randomLat, tunedLat := r.Cells[3].Mean, r.Cells[4].Mean
+	if tunedLat > randomLat {
+		t.Fatalf("tuning increased latency: %v -> %v", randomLat, tunedLat)
+	}
+}
+
+// TestConcurrentInterferenceRejectsOversizedBatch.
+func TestConcurrentInterferenceRejectsOversizedBatch(t *testing.T) {
+	s := DefaultSuite(MeshPlatform(4, 4, wormhole.DefaultConfig()))
+	s.Trials = 1
+	if _, err := ConcurrentInterference(s, []int{4}, 8, 64); err == nil {
+		t.Fatal("4 groups of 8 on 16 nodes accepted")
+	}
+}

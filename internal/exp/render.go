@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the table as aligned text, one row per x value, one
+// "mean±ci" column per algorithm, suitable for terminals and EXPERIMENTS
+// records.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	fmt.Fprintf(&b, "y: %s\n", t.YLabel)
+
+	headers := append([]string{t.XLabel}, t.Algorithms...)
+	cells := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(r.X))
+		for _, c := range r.Cells {
+			if c.CI95 > 0 {
+				row = append(row, fmt.Sprintf("%.0f ±%.0f", c.Mean, c.CI95))
+			} else {
+				row = append(row, fmt.Sprintf("%.0f", c.Mean))
+			}
+		}
+		cells[i] = row
+	}
+
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(row []string) {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row:
+// x, then mean/ci95/blocked columns per algorithm.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, a := range t.Algorithms {
+		fmt.Fprintf(&b, ",%s,%s,%s", csvEscape(a+" mean"), csvEscape(a+" ci95"), csvEscape(a+" blocked"))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(trimFloat(r.X))
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, ",%g,%g,%g", c.Mean, c.CI95, c.Blocked)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Column returns the series (x, mean) for one algorithm, for programmatic
+// consumers and tests.
+func (t *Table) Column(algo string) (xs, means []float64, ok bool) {
+	idx := -1
+	for i, a := range t.Algorithms {
+		if a == algo {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, nil, false
+	}
+	for _, r := range t.Rows {
+		xs = append(xs, r.X)
+		means = append(means, r.Cells[idx].Mean)
+	}
+	return xs, means, true
+}
+
+// BlockedColumn returns the contention series for one algorithm.
+func (t *Table) BlockedColumn(algo string) (xs, blocked []float64, ok bool) {
+	idx := -1
+	for i, a := range t.Algorithms {
+		if a == algo {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, nil, false
+	}
+	for _, r := range t.Rows {
+		xs = append(xs, r.X)
+		blocked = append(blocked, r.Cells[idx].Blocked)
+	}
+	return xs, blocked, true
+}

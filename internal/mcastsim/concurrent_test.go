@@ -1,0 +1,182 @@
+package mcastsim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	. "repro/internal/mcastsim"
+	"repro/internal/mesh"
+	"repro/internal/wormhole"
+)
+
+func twoGroups(m *mesh.Mesh, k, bytes int, seeds [2]uint64) []Group {
+	tab := core.NewOptTable(k, 441, 1400)
+	gs := make([]Group, 2)
+	// Draw disjoint placements: group 0 from even addresses, group 1
+	// from odd, so validation never trips on overlap.
+	for gi := range gs {
+		base := placement(seeds[gi], m.NumNodes()/2, k)
+		addrs := make([]int, k)
+		for i, a := range base {
+			addrs[i] = a*2 + gi
+		}
+		ch := chain.New(addrs, m.DimOrderLess)
+		root, _ := ch.Index(addrs[0])
+		gs[gi] = Group{Tab: tab, Chain: ch, Root: root, Bytes: bytes}
+	}
+	return gs
+}
+
+// TestConcurrentMatchesSoloWhenAlone: a single-group batch equals Run.
+func TestConcurrentMatchesSolo(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	tab := core.NewOptTable(16, 441, 1400)
+	ch, root := meshChain(m, placement(5, 256, 16))
+	solo, err := Run(wormhole.New(m, wormhole.DefaultConfig()), tab, ch, root, 2048, Config{Software: testSoft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := RunConcurrent(wormhole.New(m, wormhole.DefaultConfig()),
+		[]Group{{Tab: tab, Chain: ch, Root: root, Bytes: 2048}}, Config{Software: testSoft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Latency != solo.Latency || batch[0].BlockedCycles != solo.BlockedCycles {
+		t.Fatalf("single-group batch %+v != solo %+v", batch[0].Result, solo)
+	}
+}
+
+// TestConcurrentGroupsComplete: both groups deliver everywhere; worm
+// counts per group are exact.
+func TestConcurrentGroupsComplete(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	gs := twoGroups(m, 16, 2048, [2]uint64{1, 2})
+	res, err := RunConcurrent(wormhole.New(m, wormhole.DefaultConfig()), gs, Config{Software: testSoft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, r := range res {
+		if r.Worms != 15 {
+			t.Fatalf("group %d: %d worms", gi, r.Worms)
+		}
+		for i, d := range r.Deliveries {
+			if d < 0 {
+				t.Fatalf("group %d position %d undelivered", gi, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentInterference: two contention-free multicasts, run
+// together, do interfere — latency can only grow, and blocked cycles
+// appear (the paper's guarantee is per-multicast).
+func TestConcurrentInterference(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	cfg := Config{Software: testSoft}
+	var grew, blockedSeen bool
+	for seed := uint64(0); seed < 8 && !(grew && blockedSeen); seed++ {
+		gs := twoGroups(m, 24, 4096, [2]uint64{seed, seed + 100})
+		var solo [2]int64
+		for gi, g := range gs {
+			r, err := Run(wormhole.New(m, wormhole.DefaultConfig()), g.Tab, g.Chain, g.Root, g.Bytes, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.BlockedCycles != 0 {
+				t.Fatalf("group %d not contention-free alone", gi)
+			}
+			solo[gi] = r.Latency
+		}
+		batch, err := RunConcurrent(wormhole.New(m, wormhole.DefaultConfig()), gs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, r := range batch {
+			if r.Latency < solo[gi] {
+				t.Fatalf("seed %d group %d got faster under interference: %d < %d", seed, gi, r.Latency, solo[gi])
+			}
+			if r.Latency > solo[gi] {
+				grew = true
+			}
+			if r.BlockedCycles > 0 {
+				blockedSeen = true
+			}
+		}
+	}
+	if !grew || !blockedSeen {
+		t.Fatal("no interference observed across 8 seeds; cross-multicast contention is not being modelled")
+	}
+}
+
+// TestConcurrentStaggeredStart: delaying one group shifts its deliveries
+// but both still complete; latency is measured from the group's own
+// start.
+func TestConcurrentStaggeredStart(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	gs := twoGroups(m, 12, 1024, [2]uint64{7, 8})
+	gs[1].StartAt = 50000
+	res, err := RunConcurrent(wormhole.New(m, wormhole.DefaultConfig()), gs, Config{Software: testSoft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[1].StartAt != 50000 {
+		t.Fatal("StartAt not echoed")
+	}
+	// With a huge stagger the groups don't overlap: latencies match solo.
+	for gi, g := range gs {
+		solo, err := Run(wormhole.New(m, wormhole.DefaultConfig()), g.Tab, g.Chain, g.Root, g.Bytes, Config{Software: testSoft})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[gi].Latency != solo.Latency {
+			t.Fatalf("group %d staggered latency %d != solo %d", gi, res[gi].Latency, solo.Latency)
+		}
+	}
+}
+
+// TestConcurrentValidation: overlapping groups and bad arguments error.
+func TestConcurrentValidation(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	net := wormhole.New(m, wormhole.DefaultConfig())
+	tab := core.NewOptTable(4, 1, 2)
+	cfg := Config{Software: testSoft}
+	ok := Group{Tab: tab, Chain: chain.Chain{0, 1}, Root: 0, Bytes: 8}
+	cases := []struct {
+		name   string
+		groups []Group
+		want   string
+	}{
+		{"empty", nil, "no groups"},
+		{"overlap", []Group{ok, {Tab: tab, Chain: chain.Chain{1, 2}, Root: 0, Bytes: 8}}, "disjoint"},
+		{"bad root", []Group{{Tab: tab, Chain: chain.Chain{0, 1}, Root: 9, Bytes: 8}}, "root"},
+		{"negative start", []Group{{Tab: tab, Chain: chain.Chain{0, 1}, Root: 0, Bytes: 8, StartAt: -1}}, "negative"},
+		{"out of fabric", []Group{{Tab: tab, Chain: chain.Chain{0, 999}, Root: 0, Bytes: 8}}, "outside"},
+	}
+	for _, c := range cases {
+		_, err := RunConcurrent(net, c.groups, cfg)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestConcurrentDeterministic: batches replay exactly.
+func TestConcurrentDeterministic(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	run := func() []int64 {
+		gs := twoGroups(m, 20, 4096, [2]uint64{3, 4})
+		res, err := RunConcurrent(wormhole.New(m, wormhole.DefaultConfig()), gs, Config{Software: testSoft})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []int64{res[0].Latency, res[1].Latency, res[0].BlockedCycles}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("concurrent batches diverged")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package mcastsim_test
+
+import (
+	"testing"
+
+	"repro/internal/bfly"
+	"repro/internal/bmin"
+	"repro/internal/chain"
+	"repro/internal/core"
+	. "repro/internal/mcastsim"
+	"repro/internal/mesh"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/torus"
+	"repro/internal/wormhole"
+)
+
+// TestDeliveriesMatchAnalyticSchedule is the per-node cross-validation:
+// for contention-free OPT-mesh runs, every node's simulated delivery time
+// must track the analytic schedule's arrival time, node by node, within
+// the accumulated per-hop distance spread. This is much stronger than
+// comparing final latencies — it pins the entire delivery wavefront.
+func TestDeliveriesMatchAnalyticSchedule(t *testing.T) {
+	m := mesh.New2D(16, 16)
+	cfgW := wormhole.DefaultConfig()
+	cfgM := Config{Software: testSoft}
+	const bytes = 2048
+	const k = 16
+
+	tend, err := Unicast(wormhole.New(m, cfgW), m.Addr(0, 0), m.Addr(5, 5), bytes, cfgM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thold := testSoft.Hold.At(bytes)
+	tab := core.NewOptTable(k, thold, tend)
+
+	for seed := uint64(400); seed < 406; seed++ {
+		ch, root := meshChain(m, placement(seed, 256, k))
+		res, err := Run(wormhole.New(m, cfgW), tab, ch, root, bytes, cfgM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BlockedCycles != 0 {
+			t.Fatalf("seed %d: not contention-free", seed)
+		}
+		s, err := plan.BuildSchedule(tab, ch, root, thold, tend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := make([]int64, k)
+		depth := make([]int, k)
+		for _, e := range s.Entries {
+			analytic[e.To] = e.Arrive
+			depth[e.To] = depth[e.From] + 1
+		}
+		for i := 0; i < k; i++ {
+			if i == root {
+				if res.Deliveries[i] != 0 {
+					t.Fatalf("seed %d: root delivered at %d", seed, res.Deliveries[i])
+				}
+				continue
+			}
+			// Per-hop spread: the calibration pair sits at distance 10;
+			// each tree level can deviate by at most 20 hops of
+			// (1+RouterDelay) from the nominal t_end.
+			tol := int64(depth[i]) * 20 * (1 + cfgW.RouterDelay)
+			diff := res.Deliveries[i] - analytic[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > tol {
+				t.Fatalf("seed %d node %d (depth %d): simulated %d vs analytic %d (tol %d)",
+					seed, ch[i], depth[i], res.Deliveries[i], analytic[i], tol)
+			}
+		}
+	}
+}
+
+// TestStormsDrainOnEveryTopology: randomized point-to-point storms on all
+// five fabrics drain, quiesce, and conserve messages — the deadlock- and
+// leak-freedom fuzz for the whole topology suite.
+func TestStormsDrainOnEveryTopology(t *testing.T) {
+	topos := map[string]wormhole.Topology{
+		"mesh":      mesh.New2D(8, 8),
+		"hypercube": mesh.NewHypercube(6),
+		"torus":     torus.New2D(8, 8),
+		"bmin":      bmin.New(64, bmin.AscentStraight),
+		"bmin-adpt": bmin.New(64, bmin.AscentAdaptiveDest),
+		"butterfly": bfly.New(64),
+	}
+	for name, topo := range topos {
+		for seed := uint64(0); seed < 3; seed++ {
+			r := sim.NewRNG(seed * 7779)
+			n := wormhole.New(topo, wormhole.DefaultConfig())
+			sent := 0
+			for i := 0; i < 80; i++ {
+				a, b := r.Intn(topo.NumNodes()), r.Intn(topo.NumNodes())
+				if a == b {
+					continue
+				}
+				n.Send(wormhole.NodeID(a), wormhole.NodeID(b), 64+r.Intn(3000), nil, nil)
+				sent++
+			}
+			if _, err := n.RunUntilIdle(1 << 23); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if err := n.Quiesced(); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if got := n.Stats().Worms; got != int64(sent) {
+				t.Fatalf("%s seed %d: %d worms completed, sent %d", name, seed, got, sent)
+			}
+		}
+	}
+}
+
+// TestMulticastOnEveryTopology: the runtime completes an OPT multicast
+// on all five fabrics with their native orderings.
+func TestMulticastOnEveryTopology(t *testing.T) {
+	type platform struct {
+		topo wormhole.Topology
+		less func(a, b int) bool
+	}
+	me := mesh.New2D(8, 8)
+	hc := mesh.NewHypercube(6)
+	to := torus.New2D(8, 8)
+	bm := bmin.New(64, bmin.AscentStraight)
+	bf := bfly.New(64)
+	platforms := map[string]platform{
+		"mesh":      {me, me.DimOrderLess},
+		"hypercube": {hc, hc.DimOrderLess},
+		"torus":     {to, to.DimOrderLess},
+		"bmin":      {bm, bm.LexLess},
+		"butterfly": {bf, bf.LexLess},
+	}
+	tab := core.NewOptTable(16, 441, 1400)
+	for name, p := range platforms {
+		addrs := placement(31, 64, 16)
+		ch := chain.New(addrs, p.less)
+		root, _ := ch.Index(addrs[0])
+		res, err := Run(wormhole.New(p.topo, wormhole.DefaultConfig()), tab, ch, root, 1024, Config{Software: testSoft})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Worms != 15 {
+			t.Fatalf("%s: %d worms", name, res.Worms)
+		}
+	}
+}

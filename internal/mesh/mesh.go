@@ -1,0 +1,284 @@
+// Package mesh implements n-dimensional mesh topologies with
+// dimension-ordered (e-cube / XY) wormhole routing, and the
+// dimension-ordered chain relation <_d that the U-mesh and OPT-mesh
+// algorithms sort nodes by.
+//
+// Addressing is mixed-radix with dimension 0 varying fastest: in a 2-D
+// W×H mesh, node (x, y) has address x + W*y. Routing resolves dimension 0
+// first (the "X" of XY routing).
+//
+// The dimension order <_d compares coordinates with the FIRST-ROUTED
+// dimension most significant (here dimension 0, so 2-D nodes sort by
+// (x, y)). This pairing between routing order and chain order is what the
+// contention-freedom of U-mesh and OPT-mesh rests on: with it, the only
+// channel-sharing combination of concurrent chain-directed messages —
+// a lower-segment message ascending the chain while an upper-segment
+// message descends toward it — is exactly the combination the
+// send-to-nearest-end recursion can never produce (ascending senders are
+// always at or above the multicast source, descending senders at or below
+// it). The paper writes <_d with δ_(n-1) most significant and resolves
+// δ_(n-1) first in its e-cube routing; our implementation re-indexes the
+// dimensions but preserves the pairing. The tests verify both the
+// direction lemma and end-to-end zero-contention runs.
+package mesh
+
+import (
+	"fmt"
+
+	"repro/internal/wormhole"
+)
+
+// Mesh is an n-dimensional mesh fabric.
+//
+// Channel layout (IDs dense from 0):
+//
+//	[0, N)         injection channels, one per node
+//	[N, 2N)        ejection channels, one per node
+//	[2N, ...)      directed inter-router links: for node u, dimension d,
+//	               direction s (0 = toward lower coordinate, 1 = higher),
+//	               the link from u to its neighbour, where it exists.
+type Mesh struct {
+	dims   []int
+	n      int
+	stride []int // stride[d] = product of dims[0..d-1]
+
+	link []wormhole.ChannelID // [u*2D + d*2 + s] -> channel or NoChannel
+	// chanSrc/chanDst give the routers at the ends of link channel
+	// c-2N (upstream, downstream).
+	chanSrc  []wormhole.NodeID
+	chanDst  []wormhole.NodeID
+	numChans int
+}
+
+// New constructs a mesh with the given side lengths (at least one
+// dimension, each side >= 1).
+func New(dims ...int) *Mesh {
+	if len(dims) == 0 {
+		panic("mesh: need at least one dimension")
+	}
+	n := 1
+	stride := make([]int, len(dims))
+	for d, s := range dims {
+		if s < 1 {
+			panic(fmt.Sprintf("mesh: dimension %d has side %d < 1", d, s))
+		}
+		stride[d] = n
+		n *= s
+	}
+	m := &Mesh{
+		dims:   append([]int(nil), dims...),
+		n:      n,
+		stride: stride,
+		link:   make([]wormhole.ChannelID, n*2*len(dims)),
+	}
+	for i := range m.link {
+		m.link[i] = wormhole.NoChannel
+	}
+	next := wormhole.ChannelID(2 * n) // after inject + eject blocks
+	for u := 0; u < n; u++ {
+		for d := range dims {
+			for s := 0; s < 2; s++ {
+				v, ok := m.neighbor(u, d, s)
+				if !ok {
+					continue
+				}
+				m.link[m.linkIdx(u, d, s)] = next
+				m.chanSrc = append(m.chanSrc, wormhole.NodeID(u))
+				m.chanDst = append(m.chanDst, wormhole.NodeID(v))
+				next++
+			}
+		}
+	}
+	m.numChans = int(next)
+	return m
+}
+
+// New2D is shorthand for New(w, h), the paper's mesh configuration.
+func New2D(w, h int) *Mesh { return New(w, h) }
+
+// NewHypercube builds a dim-dimensional binary hypercube as a mesh with
+// side length 2 in every dimension. Dimension-ordered routing on it is
+// the classic deadlock-free e-cube routing, and the dimension-ordered
+// chain makes the same recursion contention-free — the setting of
+// McKinley et al.'s original U-cube algorithm, and a third fabric on
+// which the paper's "any network partitionable into contention-free
+// clusters" claim is exercised.
+//
+// Note the chain order: with dimension 0 most significant, <_d sorts
+// hypercube nodes by the bit-reversal of their address. The tests verify
+// contention-freedom does not care, as long as the pairing between chain
+// significance and routing resolution order is preserved.
+func NewHypercube(dim int) *Mesh {
+	if dim < 1 {
+		panic(fmt.Sprintf("mesh: NewHypercube dim=%d < 1", dim))
+	}
+	dims := make([]int, dim)
+	for i := range dims {
+		dims[i] = 2
+	}
+	return New(dims...)
+}
+
+func (m *Mesh) linkIdx(u, d, s int) int { return u*2*len(m.dims) + d*2 + s }
+
+func (m *Mesh) neighbor(u, d, s int) (int, bool) {
+	c := m.coord(u, d)
+	if s == 0 {
+		if c == 0 {
+			return 0, false
+		}
+		return u - m.stride[d], true
+	}
+	if c == m.dims[d]-1 {
+		return 0, false
+	}
+	return u + m.stride[d], true
+}
+
+// coord returns coordinate d of node u.
+func (m *Mesh) coord(u, d int) int { return (u / m.stride[d]) % m.dims[d] }
+
+// Dims returns the side lengths.
+func (m *Mesh) Dims() []int { return append([]int(nil), m.dims...) }
+
+// Coords returns all coordinates of a node address.
+func (m *Mesh) Coords(u int) []int {
+	cs := make([]int, len(m.dims))
+	for d := range m.dims {
+		cs[d] = m.coord(u, d)
+	}
+	return cs
+}
+
+// Addr returns the address of the node at the given coordinates.
+func (m *Mesh) Addr(coords ...int) int {
+	if len(coords) != len(m.dims) {
+		panic(fmt.Sprintf("mesh: Addr got %d coordinates for %d dimensions", len(coords), len(m.dims)))
+	}
+	a := 0
+	for d, c := range coords {
+		if c < 0 || c >= m.dims[d] {
+			panic(fmt.Sprintf("mesh: coordinate %d out of range [0,%d) in dimension %d", c, m.dims[d], d))
+		}
+		a += c * m.stride[d]
+	}
+	return a
+}
+
+// Distance returns the Manhattan hop count between two nodes.
+func (m *Mesh) Distance(a, b int) int {
+	d := 0
+	for dim := range m.dims {
+		ca, cb := m.coord(a, dim), m.coord(b, dim)
+		if ca > cb {
+			d += ca - cb
+		} else {
+			d += cb - ca
+		}
+	}
+	return d
+}
+
+// DimOrderLess is the strict part of the dimension order <_d used to sort
+// multicast chains: coordinates compared lexicographically with the
+// first-routed dimension (dimension 0) most significant. For a 2-D mesh
+// nodes sort by (x, y). See the package comment for why the chain's most
+// significant dimension must be the routing's first dimension.
+func (m *Mesh) DimOrderLess(a, b int) bool {
+	for d := 0; d < len(m.dims); d++ {
+		ca, cb := m.coord(a, d), m.coord(b, d)
+		if ca != cb {
+			return ca < cb
+		}
+	}
+	return false
+}
+
+// ChainKey returns an integer whose natural order equals <_d, convenient
+// for sorting and for tests: the mixed-radix value with dimension 0 most
+// significant.
+func (m *Mesh) ChainKey(u int) int {
+	k := 0
+	for d := 0; d < len(m.dims); d++ {
+		k = k*m.dims[d] + m.coord(u, d)
+	}
+	return k
+}
+
+// NumNodes implements wormhole.Topology.
+func (m *Mesh) NumNodes() int { return m.n }
+
+// NumChannels implements wormhole.Topology.
+func (m *Mesh) NumChannels() int { return m.numChans }
+
+// InjectChannel implements wormhole.Topology.
+func (m *Mesh) InjectChannel(u wormhole.NodeID) wormhole.ChannelID {
+	return wormhole.ChannelID(u)
+}
+
+// EjectChannel implements wormhole.Topology.
+func (m *Mesh) EjectChannel(u wormhole.NodeID) wormhole.ChannelID {
+	return wormhole.ChannelID(int(u) + m.n)
+}
+
+// LinkChannel returns the directed link from u toward its neighbour in
+// dimension d, direction s (0 down, 1 up), or NoChannel at the mesh edge.
+func (m *Mesh) LinkChannel(u, d, s int) wormhole.ChannelID {
+	return m.link[m.linkIdx(u, d, s)]
+}
+
+// routerAt returns the router where a header sitting at the downstream
+// end of channel c is located.
+func (m *Mesh) routerAt(c wormhole.ChannelID) wormhole.NodeID {
+	ci := int(c)
+	switch {
+	case ci < m.n: // injection channel of node ci
+		return wormhole.NodeID(ci)
+	case ci < 2*m.n:
+		panic("mesh: routing from an ejection channel")
+	default:
+		return m.chanDst[ci-2*m.n]
+	}
+}
+
+// Route implements wormhole.Topology with deterministic dimension-ordered
+// (e-cube) routing: correct the lowest differing dimension first. For a
+// 2-D mesh this is exactly XY routing. A single candidate is returned —
+// the routing is oblivious, one path per (src, dst) pair.
+func (m *Mesh) Route(cur wormhole.ChannelID, src, dst wormhole.NodeID, buf []wormhole.ChannelID) []wormhole.ChannelID {
+	here := m.routerAt(cur)
+	if here == dst {
+		return append(buf, m.EjectChannel(dst))
+	}
+	u, v := int(here), int(dst)
+	for d := 0; d < len(m.dims); d++ {
+		cu, cv := m.coord(u, d), m.coord(v, d)
+		if cu == cv {
+			continue
+		}
+		s := 0
+		if cv > cu {
+			s = 1
+		}
+		return append(buf, m.link[m.linkIdx(u, d, s)])
+	}
+	panic("mesh: unreachable — here != dst but all coordinates equal")
+}
+
+// DescribeChannel implements wormhole.Topology.
+func (m *Mesh) DescribeChannel(c wormhole.ChannelID) string {
+	ci := int(c)
+	switch {
+	case ci < 0:
+		return "none"
+	case ci < m.n:
+		return fmt.Sprintf("inject(%v)", m.Coords(ci))
+	case ci < 2*m.n:
+		return fmt.Sprintf("eject(%v)", m.Coords(ci-m.n))
+	default:
+		i := ci - 2*m.n
+		return fmt.Sprintf("link(%v->%v)", m.Coords(int(m.chanSrc[i])), m.Coords(int(m.chanDst[i])))
+	}
+}
+
+var _ wormhole.Topology = (*Mesh)(nil)

@@ -1,0 +1,321 @@
+package mesh
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wormhole"
+)
+
+func TestCoordsAddrRoundTrip(t *testing.T) {
+	m := New(4, 5, 3)
+	for u := 0; u < m.NumNodes(); u++ {
+		cs := m.Coords(u)
+		if got := m.Addr(cs...); got != u {
+			t.Fatalf("Addr(Coords(%d)) = %d", u, got)
+		}
+	}
+	if m.NumNodes() != 60 {
+		t.Fatalf("NumNodes = %d", m.NumNodes())
+	}
+}
+
+func TestAddr2D(t *testing.T) {
+	m := New2D(6, 6)
+	if m.Addr(3, 2) != 15 {
+		t.Fatalf("Addr(3,2) = %d, want 15", m.Addr(3, 2))
+	}
+	cs := m.Coords(15)
+	if cs[0] != 3 || cs[1] != 2 {
+		t.Fatalf("Coords(15) = %v", cs)
+	}
+}
+
+func TestNewRejectsBadDims(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New() },
+		func() { New(0) },
+		func() { New(4, -1) },
+		func() { New(4, 4).Addr(4, 0) },
+		func() { New(4, 4).Addr(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDistanceManhattan(t *testing.T) {
+	m := New2D(16, 16)
+	if d := m.Distance(m.Addr(0, 0), m.Addr(15, 15)); d != 30 {
+		t.Fatalf("corner distance = %d", d)
+	}
+	if d := m.Distance(m.Addr(3, 4), m.Addr(3, 4)); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+	if d := m.Distance(m.Addr(2, 9), m.Addr(7, 3)); d != 11 {
+		t.Fatalf("distance = %d, want 11", d)
+	}
+}
+
+// TestDimOrderMatchesChainKey: the <_d relation equals numeric order of
+// ChainKey (dimension 0 most significant), and for a 2-D mesh it sorts by
+// (x, y).
+func TestDimOrderMatchesChainKey(t *testing.T) {
+	for _, m := range []*Mesh{New2D(6, 6), New(4, 3, 2), New(7, 1, 4)} {
+		n := m.NumNodes()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if got, want := m.DimOrderLess(a, b), m.ChainKey(a) < m.ChainKey(b); got != want {
+					t.Fatalf("dims=%v: DimOrderLess(%d,%d) = %v, ChainKey order %v", m.Dims(), a, b, got, want)
+				}
+			}
+		}
+	}
+	m := New2D(6, 6)
+	a, b := m.Addr(2, 5), m.Addr(3, 0)
+	if !m.DimOrderLess(a, b) {
+		t.Fatal("(2,5) should precede (3,0): x is most significant")
+	}
+	if !m.DimOrderLess(m.Addr(2, 1), m.Addr(2, 4)) {
+		t.Fatal("(2,1) should precede (2,4)")
+	}
+}
+
+// TestDimOrderIsStrictTotalOrder property-checks irreflexivity,
+// asymmetry and totality.
+func TestDimOrderIsStrictTotalOrder(t *testing.T) {
+	m := New2D(16, 16)
+	f := func(ar, br uint8) bool {
+		a, b := int(ar), int(br)
+		la, lb := m.DimOrderLess(a, b), m.DimOrderLess(b, a)
+		if a == b {
+			return !la && !lb
+		}
+		return la != lb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// xyPath returns the link channels (excluding inject/eject) of the XY
+// route between a and b.
+func xyPath(m *Mesh, a, b int) []wormhole.ChannelID {
+	p := wormhole.PathChannels(m, wormhole.NodeID(a), wormhole.NodeID(b))
+	return p[1 : len(p)-1]
+}
+
+// TestRoutePathShape: the XY path has exactly Distance link hops, begins
+// with the injection channel and ends with the ejection channel.
+func TestRoutePathShape(t *testing.T) {
+	m := New2D(8, 8)
+	for a := 0; a < 64; a += 5 {
+		for b := 0; b < 64; b += 7 {
+			p := wormhole.PathChannels(m, wormhole.NodeID(a), wormhole.NodeID(b))
+			if p[0] != m.InjectChannel(wormhole.NodeID(a)) {
+				t.Fatalf("%d->%d: path does not start at injection", a, b)
+			}
+			if p[len(p)-1] != m.EjectChannel(wormhole.NodeID(b)) {
+				t.Fatalf("%d->%d: path does not end at ejection", a, b)
+			}
+			if got, want := len(p)-2, m.Distance(a, b); got != want {
+				t.Fatalf("%d->%d: %d link hops, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestRouteXFirst: XY routing corrects dimension 0 completely before
+// dimension 1 — the path visits (bx, ay) as an intermediate router.
+func TestRouteXFirst(t *testing.T) {
+	m := New2D(8, 8)
+	a, b := m.Addr(1, 2), m.Addr(5, 6)
+	p := xyPath(m, a, b)
+	// The first |bx-ax| hops must all be X-dimension links from row ay.
+	for i := 0; i < 4; i++ {
+		u := m.Addr(1+i, 2)
+		want := m.LinkChannel(u, 0, 1)
+		if p[i] != want {
+			t.Fatalf("hop %d = %s, want %s", i, m.DescribeChannel(p[i]), m.DescribeChannel(want))
+		}
+	}
+	// Remaining hops climb column bx.
+	for i := 0; i < 4; i++ {
+		u := m.Addr(5, 2+i)
+		want := m.LinkChannel(u, 1, 1)
+		if p[4+i] != want {
+			t.Fatalf("hop %d = %s, want %s", 4+i, m.DescribeChannel(p[4+i]), m.DescribeChannel(want))
+		}
+	}
+}
+
+// TestRouteDeterministicSinglePath: Route always returns exactly one
+// candidate (oblivious routing).
+func TestRouteDeterministicSinglePath(t *testing.T) {
+	m := New2D(6, 6)
+	var buf []wormhole.ChannelID
+	for a := 0; a < 36; a++ {
+		for b := 0; b < 36; b++ {
+			buf = m.Route(m.InjectChannel(wormhole.NodeID(a)), wormhole.NodeID(a), wormhole.NodeID(b), buf[:0])
+			if len(buf) != 1 {
+				t.Fatalf("Route returned %d candidates", len(buf))
+			}
+		}
+	}
+}
+
+// TestRouteToSelf: routing from a node's injection channel to itself
+// yields the ejection channel immediately.
+func TestRouteToSelf(t *testing.T) {
+	m := New2D(4, 4)
+	var buf []wormhole.ChannelID
+	for u := 0; u < 16; u++ {
+		n := wormhole.NodeID(u)
+		buf = m.Route(m.InjectChannel(n), n, n, buf[:0])
+		if len(buf) != 1 || buf[0] != m.EjectChannel(n) {
+			t.Fatalf("self-route of %d = %v", u, buf)
+		}
+	}
+}
+
+// TestChannelIDsDense: all channels are distinct and in [0, NumChannels).
+func TestChannelIDsDense(t *testing.T) {
+	m := New2D(5, 4)
+	seen := make(map[wormhole.ChannelID]bool)
+	record := func(c wormhole.ChannelID) {
+		if c == wormhole.NoChannel {
+			return
+		}
+		if c < 0 || int(c) >= m.NumChannels() {
+			t.Fatalf("channel %d outside [0,%d)", c, m.NumChannels())
+		}
+		if seen[c] {
+			t.Fatalf("channel %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+	for u := 0; u < m.NumNodes(); u++ {
+		record(m.InjectChannel(wormhole.NodeID(u)))
+		record(m.EjectChannel(wormhole.NodeID(u)))
+		for d := 0; d < 2; d++ {
+			for s := 0; s < 2; s++ {
+				record(m.LinkChannel(u, d, s))
+			}
+		}
+	}
+	if len(seen) != m.NumChannels() {
+		t.Fatalf("enumerated %d channels, NumChannels=%d", len(seen), m.NumChannels())
+	}
+}
+
+// TestEdgeNodesLackOutwardLinks: border nodes have NoChannel toward the
+// outside.
+func TestEdgeNodesLackOutwardLinks(t *testing.T) {
+	m := New2D(4, 4)
+	if m.LinkChannel(m.Addr(0, 2), 0, 0) != wormhole.NoChannel {
+		t.Error("west link exists at west edge")
+	}
+	if m.LinkChannel(m.Addr(3, 2), 0, 1) != wormhole.NoChannel {
+		t.Error("east link exists at east edge")
+	}
+	if m.LinkChannel(m.Addr(2, 0), 1, 0) != wormhole.NoChannel {
+		t.Error("south link exists at south edge")
+	}
+	if m.LinkChannel(m.Addr(2, 3), 1, 1) != wormhole.NoChannel {
+		t.Error("north link exists at north edge")
+	}
+	if m.LinkChannel(m.Addr(1, 1), 0, 0) == wormhole.NoChannel {
+		t.Error("interior node missing a link")
+	}
+}
+
+// TestDirectionLemma is the contention lemma OPT-mesh and U-mesh rest on,
+// checked exhaustively on a 5x5 mesh: take any two disjoint intervals of
+// the dimension-ordered chain, a message within the lower interval and one
+// within the upper. The paths are channel-disjoint in every direction
+// combination EXCEPT (lower ascending, upper descending) — and that
+// combination is the one the send-to-nearest-end recursion provably never
+// produces concurrently.
+func TestDirectionLemma(t *testing.T) {
+	m := New2D(5, 5)
+	n := m.NumNodes()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return m.DimOrderLess(order[i], order[j]) })
+
+	share := func(a1, b1, a2, b2 int) bool {
+		p1 := xyPath(m, a1, b1)
+		used := make(map[wormhole.ChannelID]bool, len(p1))
+		for _, c := range p1 {
+			used[c] = true
+		}
+		for _, c := range xyPath(m, a2, b2) {
+			if used[c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	sawBadCombo := false
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			for k := j + 1; k < n; k += 2 {
+				for l := k + 1; l < n; l += 2 {
+					lo1, hi1 := order[i], order[j]
+					lo2, hi2 := order[k], order[l]
+					if share(lo1, hi1, lo2, hi2) {
+						t.Fatalf("asc/asc: %d->%d vs %d->%d share a channel", lo1, hi1, lo2, hi2)
+					}
+					if share(hi1, lo1, lo2, hi2) {
+						t.Fatalf("desc/asc: %d->%d vs %d->%d share a channel", hi1, lo1, lo2, hi2)
+					}
+					if share(hi1, lo1, hi2, lo2) {
+						t.Fatalf("desc/desc: %d->%d vs %d->%d share a channel", hi1, lo1, hi2, lo2)
+					}
+					if share(lo1, hi1, hi2, lo2) {
+						sawBadCombo = true
+					}
+				}
+			}
+		}
+	}
+	if !sawBadCombo {
+		t.Fatal("expected at least one collision in the (lower asc, upper desc) combination; the lemma test is vacuous")
+	}
+}
+
+func TestDescribeChannel(t *testing.T) {
+	m := New2D(3, 3)
+	if s := m.DescribeChannel(m.InjectChannel(0)); s == "" {
+		t.Error("empty inject description")
+	}
+	if s := m.DescribeChannel(m.EjectChannel(8)); s == "" {
+		t.Error("empty eject description")
+	}
+	if s := m.DescribeChannel(m.LinkChannel(0, 0, 1)); s == "" {
+		t.Error("empty link description")
+	}
+	if s := m.DescribeChannel(wormhole.NoChannel); s != "none" {
+		t.Errorf("NoChannel described as %q", s)
+	}
+}
+
+// TestOneDimensionalMesh: a 1-D mesh (a linear array) routes along the
+// single dimension.
+func TestOneDimensionalMesh(t *testing.T) {
+	m := New(8)
+	p := wormhole.PathChannels(m, 0, 7)
+	if len(p) != 9 { // inject + 7 hops + eject
+		t.Fatalf("path length %d, want 9", len(p))
+	}
+}

@@ -1,0 +1,166 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearAt(t *testing.T) {
+	l := Linear{Fixed: 100, PerByte: 0.5}
+	cases := []struct {
+		bytes int
+		want  Time
+	}{
+		{0, 100}, {1, 101} /* 100.5 rounds to even? math.Round: 100.5 -> 101 */, {2, 101}, {1000, 600},
+	}
+	for _, c := range cases {
+		if got := l.At(c.bytes); got != c.want {
+			t.Errorf("At(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestLinearAtNeverNegative(t *testing.T) {
+	l := Linear{Fixed: -50, PerByte: 0.1}
+	if got := l.At(0); got != 0 {
+		t.Fatalf("negative latency not clamped: %d", got)
+	}
+	if got := l.At(1000); got != 50 {
+		t.Fatalf("At(1000) = %d, want 50", got)
+	}
+}
+
+func TestLinearAddScale(t *testing.T) {
+	a := Linear{Fixed: 10, PerByte: 0.1}
+	b := Linear{Fixed: 20, PerByte: 0.2}
+	s := a.Add(b)
+	if s.Fixed != 30 || math.Abs(s.PerByte-0.3) > 1e-12 {
+		t.Fatalf("Add = %+v", s)
+	}
+	d := a.Scale(3)
+	if d.Fixed != 30 || math.Abs(d.PerByte-0.3) > 1e-12 {
+		t.Fatalf("Scale = %+v", d)
+	}
+	if !(Linear{}).IsZero() || a.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestParamsEnd(t *testing.T) {
+	p := Params{
+		Software: Software{
+			Send: Linear{Fixed: 100, PerByte: 0.01},
+			Recv: Linear{Fixed: 50, PerByte: 0.02},
+			Hold: Linear{Fixed: 100, PerByte: 0.01},
+		},
+		Net: Linear{Fixed: 30, PerByte: 0.125},
+	}
+	if got := p.TEnd(1000); got != 100+50+30+10+20+125 {
+		t.Fatalf("TEnd(1000) = %d", got)
+	}
+	if got := p.THold(1000); got != 110 {
+		t.Fatalf("THold(1000) = %d", got)
+	}
+	// t_end = t_send + t_net + t_recv must hold as linear functions too.
+	end := p.End()
+	for _, m := range []int{0, 64, 4096, 65536} {
+		if end.At(m) != p.Send.Add(p.Net).Add(p.Recv).At(m) {
+			t.Fatalf("End() inconsistent at %d bytes", m)
+		}
+	}
+}
+
+func TestSoftwareValidate(t *testing.T) {
+	ok := DefaultSoftware()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("default software invalid: %v", err)
+	}
+	bad := ok
+	bad.Recv = Linear{Fixed: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative recv accepted")
+	}
+}
+
+func TestDefaultSoftwareRegime(t *testing.T) {
+	// The experiments need t_hold <= t_end at every size (with any
+	// non-negative t_net), i.e. Hold <= Send + Recv pointwise.
+	s := DefaultSoftware()
+	for _, m := range []int{0, 1, 1024, 65536} {
+		if s.Hold.At(m) > s.Send.At(m)+s.Recv.At(m) {
+			t.Fatalf("t_hold > t_send+t_recv at %d bytes", m)
+		}
+	}
+}
+
+func TestFitRecoversExactLine(t *testing.T) {
+	truth := Linear{Fixed: 123, PerByte: 0.25}
+	var pts []Point
+	for _, m := range []int{0, 128, 1024, 9000, 65536} {
+		pts = append(pts, Point{Bytes: m, T: truth.At(m)})
+	}
+	got, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Fixed-truth.Fixed) > 0.5 || math.Abs(got.PerByte-truth.PerByte) > 1e-4 {
+		t.Fatalf("fit = %+v, want %+v", got, truth)
+	}
+	if r := Residual(got, pts); r > 1 {
+		t.Fatalf("residual %v too large", r)
+	}
+}
+
+func TestFitQuickRecovery(t *testing.T) {
+	f := func(fr uint16, pr uint8) bool {
+		truth := Linear{Fixed: float64(fr % 5000), PerByte: float64(pr) / 256}
+		pts := []Point{}
+		for _, m := range []int{0, 64, 512, 4096, 32768} {
+			pts = append(pts, Point{Bytes: m, T: truth.At(m)})
+		}
+		got, err := Fit(pts)
+		if err != nil {
+			return false
+		}
+		// Rounding at sample generation bounds the recoverable error.
+		return math.Abs(got.Fixed-truth.Fixed) < 2 && math.Abs(got.PerByte-truth.PerByte) < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitUnderdetermined(t *testing.T) {
+	if _, err := Fit(nil); err != ErrUnderdetermined {
+		t.Fatalf("nil points: err = %v", err)
+	}
+	if _, err := Fit([]Point{{Bytes: 8, T: 10}}); err != ErrUnderdetermined {
+		t.Fatalf("one point: err = %v", err)
+	}
+	if _, err := Fit([]Point{{Bytes: 8, T: 10}, {Bytes: 8, T: 12}}); err != ErrUnderdetermined {
+		t.Fatalf("same-size points: err = %v", err)
+	}
+}
+
+func TestAsLogP(t *testing.T) {
+	p := Params{
+		Software: Software{
+			Send: Linear{Fixed: 100},
+			Recv: Linear{Fixed: 60},
+			Hold: Linear{Fixed: 90},
+		},
+		Net: Linear{Fixed: 500},
+	}
+	lp := p.AsLogP(0)
+	if lp.L != 500 || lp.O != 80 || lp.G != 90 {
+		t.Fatalf("AsLogP = %+v", lp)
+	}
+}
+
+func TestLinearString(t *testing.T) {
+	s := Linear{Fixed: 400, PerByte: 0.01}.String()
+	if s == "" {
+		t.Fatal("empty String")
+	}
+}

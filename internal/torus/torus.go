@@ -1,0 +1,264 @@
+// Package torus implements n-dimensional torus (wrap-around mesh)
+// topologies with dimension-ordered routing and Dally-style dateline
+// virtual channels.
+//
+// Wormhole routing on a torus deadlocks without virtual channels: the
+// wrap link closes each ring into a cyclic channel dependency. The
+// standard fix (Dally & Seitz) splits every unidirectional ring into two
+// virtual channels: a worm travels on VC0 until it crosses the ring's
+// dateline (the wrap from the highest coordinate back to 0, or the
+// reverse), and on VC1 afterwards, which breaks the cycle. The simulator
+// core (package wormhole) multiplexes the two VCs onto one physical link
+// at one flit per cycle via the LinkGrouper interface.
+//
+// The torus is an *extension* fabric: the paper evaluates meshes and
+// BMINs only. The experiments use it to ask whether the OPT-mesh
+// ordering discipline survives wrap-around links — it does not fully
+// (wrap paths break the direction lemma), which makes the torus a
+// natural subject for the §6 temporal tuner.
+package torus
+
+import (
+	"fmt"
+
+	"repro/internal/wormhole"
+)
+
+// Torus is an n-dimensional wrap-around mesh fabric.
+//
+// Channel layout: [0, N) injection, [N, 2N) ejection, then for node u,
+// dimension d, direction s (0 = decreasing coordinate, 1 = increasing),
+// virtual channel v: 2N + ((u*D+d)*2+s)*2 + v. The physical link for a
+// VC pair is ((u*D+d)*2+s).
+type Torus struct {
+	dims   []int
+	n      int
+	stride []int
+}
+
+// New constructs a torus with the given side lengths (each at least 3 so
+// the two directions use distinct links; use package mesh for smaller
+// rings, where a torus degenerates).
+func New(dims ...int) *Torus {
+	if len(dims) == 0 {
+		panic("torus: need at least one dimension")
+	}
+	n := 1
+	stride := make([]int, len(dims))
+	for d, s := range dims {
+		if s < 3 {
+			panic(fmt.Sprintf("torus: dimension %d has side %d < 3", d, s))
+		}
+		stride[d] = n
+		n *= s
+	}
+	return &Torus{dims: append([]int(nil), dims...), n: n, stride: stride}
+}
+
+// New2D is shorthand for New(w, h).
+func New2D(w, h int) *Torus { return New(w, h) }
+
+// Dims returns the side lengths.
+func (t *Torus) Dims() []int { return append([]int(nil), t.dims...) }
+
+func (t *Torus) coord(u, d int) int { return (u / t.stride[d]) % t.dims[d] }
+
+// Coords returns all coordinates of a node address.
+func (t *Torus) Coords(u int) []int {
+	cs := make([]int, len(t.dims))
+	for d := range t.dims {
+		cs[d] = t.coord(u, d)
+	}
+	return cs
+}
+
+// Addr returns the address of the node at the given coordinates.
+func (t *Torus) Addr(coords ...int) int {
+	if len(coords) != len(t.dims) {
+		panic(fmt.Sprintf("torus: Addr got %d coordinates for %d dimensions", len(coords), len(t.dims)))
+	}
+	a := 0
+	for d, c := range coords {
+		if c < 0 || c >= t.dims[d] {
+			panic(fmt.Sprintf("torus: coordinate %d out of range in dimension %d", c, d))
+		}
+		a += c * t.stride[d]
+	}
+	return a
+}
+
+// Distance returns the minimal wrap-aware hop count between two nodes.
+func (t *Torus) Distance(a, b int) int {
+	total := 0
+	for d := range t.dims {
+		m := t.dims[d]
+		fwd := ((t.coord(b, d)-t.coord(a, d))%m + m) % m
+		if bwd := m - fwd; bwd < fwd {
+			fwd = bwd
+		}
+		total += fwd
+	}
+	return total
+}
+
+// DimOrderLess is the dimension order (first-routed dimension most
+// significant), identical to the mesh's.
+func (t *Torus) DimOrderLess(a, b int) bool {
+	for d := 0; d < len(t.dims); d++ {
+		ca, cb := t.coord(a, d), t.coord(b, d)
+		if ca != cb {
+			return ca < cb
+		}
+	}
+	return false
+}
+
+// direction returns the routing direction (1 = increasing) and hop count
+// for dimension d from coordinate cu to cv; ties go to the increasing
+// direction, deterministically.
+func (t *Torus) direction(d, cu, cv int) (s, hops int) {
+	m := t.dims[d]
+	fwd := ((cv-cu)%m + m) % m
+	bwd := m - fwd
+	if fwd <= bwd {
+		return 1, fwd
+	}
+	return 0, bwd
+}
+
+const vcs = 2
+
+// NumNodes implements wormhole.Topology.
+func (t *Torus) NumNodes() int { return t.n }
+
+// NumChannels implements wormhole.Topology.
+func (t *Torus) NumChannels() int { return 2*t.n + t.n*len(t.dims)*2*vcs }
+
+// NumLinks implements wormhole.LinkGrouper.
+func (t *Torus) NumLinks() int { return t.n * len(t.dims) * 2 }
+
+// LinkOf implements wormhole.LinkGrouper.
+func (t *Torus) LinkOf(c wormhole.ChannelID) int {
+	ci := int(c) - 2*t.n
+	if ci < 0 {
+		return -1 // injection/ejection channels have dedicated links
+	}
+	return ci / vcs
+}
+
+// InjectChannel implements wormhole.Topology.
+func (t *Torus) InjectChannel(u wormhole.NodeID) wormhole.ChannelID {
+	return wormhole.ChannelID(u)
+}
+
+// EjectChannel implements wormhole.Topology.
+func (t *Torus) EjectChannel(u wormhole.NodeID) wormhole.ChannelID {
+	return wormhole.ChannelID(int(u) + t.n)
+}
+
+// VCChannel returns the channel of (node, dim, direction, vc).
+func (t *Torus) VCChannel(u, d, s, vc int) wormhole.ChannelID {
+	return wormhole.ChannelID(2*t.n + ((u*len(t.dims)+d)*2+s)*vcs + vc)
+}
+
+// decode returns (u, d, s, vc) for a VC channel.
+func (t *Torus) decode(c wormhole.ChannelID) (u, d, s, vc int) {
+	ci := int(c) - 2*t.n
+	vc = ci % vcs
+	ci /= vcs
+	s = ci % 2
+	ci /= 2
+	d = ci % len(t.dims)
+	u = ci / len(t.dims)
+	return u, d, s, vc
+}
+
+// neighbor returns the ring neighbour of u in dimension d, direction s.
+func (t *Torus) neighbor(u, d, s int) int {
+	m := t.dims[d]
+	c := t.coord(u, d)
+	var nc int
+	if s == 1 {
+		nc = (c + 1) % m
+	} else {
+		nc = (c - 1 + m) % m
+	}
+	return u + (nc-c)*t.stride[d]
+}
+
+// routerAt returns the router at the downstream end of channel c.
+func (t *Torus) routerAt(c wormhole.ChannelID) wormhole.NodeID {
+	ci := int(c)
+	switch {
+	case ci < t.n:
+		return wormhole.NodeID(ci) // injection: at the node's own router
+	case ci < 2*t.n:
+		panic("torus: routing from an ejection channel")
+	default:
+		u, d, s, _ := t.decode(c)
+		return wormhole.NodeID(t.neighbor(u, d, s))
+	}
+}
+
+// Route implements dimension-ordered torus routing with dateline VCs:
+// correct the lowest differing dimension, taking the shorter way around
+// its ring; use VC0 until the ring's dateline (the 'wrap' transition) is
+// crossed, VC1 after.
+func (t *Torus) Route(cur wormhole.ChannelID, src, dst wormhole.NodeID, buf []wormhole.ChannelID) []wormhole.ChannelID {
+	here := t.routerAt(cur)
+	if here == dst {
+		return append(buf, t.EjectChannel(dst))
+	}
+	u, v := int(here), int(dst)
+	for d := 0; d < len(t.dims); d++ {
+		cu, cv := t.coord(u, d), t.coord(v, d)
+		if cu == cv {
+			continue
+		}
+		// Direction is decided once per dimension from the coordinate at
+		// dimension entry, which — by dimension-ordered routing — is the
+		// source's coordinate in d. Recomputing it from the current
+		// position could flip direction mid-ring on even-length ties.
+		entry := t.coord(int(src), d)
+		s, _ := t.direction(d, entry, cv)
+		next := t.neighbor(u, d, s)
+		// Dateline: moving up, the wrap is the (m-1)->0 transition, so
+		// the worm has crossed iff its current ring coordinate fell
+		// below the entry coordinate; moving down, symmetric. A full
+		// wrap (next == entry) cannot occur: rides are shorter than m.
+		nc := t.coord(next, d)
+		var crossed bool
+		if s == 1 {
+			crossed = nc < entry
+		} else {
+			crossed = nc > entry
+		}
+		vc := 0
+		if crossed {
+			vc = 1
+		}
+		return append(buf, t.VCChannel(u, d, s, vc))
+	}
+	panic("torus: unreachable — here != dst but all coordinates equal")
+}
+
+// DescribeChannel implements wormhole.Topology.
+func (t *Torus) DescribeChannel(c wormhole.ChannelID) string {
+	ci := int(c)
+	switch {
+	case ci < 0 || ci >= t.NumChannels():
+		return "none"
+	case ci < t.n:
+		return fmt.Sprintf("inject(%v)", t.Coords(ci))
+	case ci < 2*t.n:
+		return fmt.Sprintf("eject(%v)", t.Coords(ci-t.n))
+	default:
+		u, d, s, vc := t.decode(c)
+		return fmt.Sprintf("link(%v->%v,vc%d)", t.Coords(u), t.Coords(t.neighbor(u, d, s)), vc)
+	}
+}
+
+var (
+	_ wormhole.Topology    = (*Torus)(nil)
+	_ wormhole.LinkGrouper = (*Torus)(nil)
+)

@@ -1,0 +1,270 @@
+package torus_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/mcastsim"
+	"repro/internal/model"
+	"repro/internal/sim"
+	. "repro/internal/torus"
+	"repro/internal/wormhole"
+)
+
+var soft = model.Software{
+	Send: model.Linear{Fixed: 200, PerByte: 0.15},
+	Recv: model.Linear{Fixed: 200, PerByte: 0.15},
+	Hold: model.Linear{Fixed: 200, PerByte: 0.15},
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New() },
+		func() { New(2) },
+		func() { New(8, 2) },
+		func() { New(8, 8).Addr(8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCoordsAddrRoundTrip(t *testing.T) {
+	tr := New(5, 4, 3)
+	for u := 0; u < tr.NumNodes(); u++ {
+		if got := tr.Addr(tr.Coords(u)...); got != u {
+			t.Fatalf("Addr(Coords(%d)) = %d", u, got)
+		}
+	}
+}
+
+// TestDistanceWrap: the torus takes the short way around.
+func TestDistanceWrap(t *testing.T) {
+	tr := New2D(8, 8)
+	if d := tr.Distance(tr.Addr(0, 0), tr.Addr(7, 7)); d != 2 {
+		t.Fatalf("corner distance = %d, want 2 (wrap both dims)", d)
+	}
+	if d := tr.Distance(tr.Addr(0, 0), tr.Addr(4, 4)); d != 8 {
+		t.Fatalf("antipode distance = %d, want 8", d)
+	}
+	if d := tr.Distance(tr.Addr(1, 1), tr.Addr(1, 1)); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+// TestDistanceSymmetric property.
+func TestDistanceSymmetric(t *testing.T) {
+	tr := New2D(7, 5)
+	f := func(ar, br uint8) bool {
+		a, b := int(ar)%35, int(br)%35
+		return tr.Distance(a, b) == tr.Distance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPathLengthIsDistance: routes are minimal.
+func TestPathLengthIsDistance(t *testing.T) {
+	tr := New2D(8, 8)
+	for a := 0; a < 64; a += 3 {
+		for b := 0; b < 64; b += 5 {
+			p := wormhole.PathChannels(tr, wormhole.NodeID(a), wormhole.NodeID(b))
+			if got, want := len(p)-2, tr.Distance(a, b); got != want {
+				t.Fatalf("%d->%d: %d hops, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestDatelineVCAssignment: wrap-crossing paths switch to VC1 exactly at
+// the wrap transition and stay there.
+func TestDatelineVCAssignment(t *testing.T) {
+	tr := New2D(8, 8)
+	// (6,0) -> (1,0): +x direction with wrap at 7->0.
+	p := wormhole.PathChannels(tr, wormhole.NodeID(tr.Addr(6, 0)), wormhole.NodeID(tr.Addr(1, 0)))
+	links := p[1 : len(p)-1]
+	// Hops: 6->7 (vc0), 7->0 (vc1, the wrap), 0->1 (vc1).
+	wantVC := []int{0, 1, 1}
+	if len(links) != len(wantVC) {
+		t.Fatalf("path has %d hops, want %d", len(links), len(wantVC))
+	}
+	for i, c := range links {
+		vc := int(c) % 2 // layout: vc is the lowest bit of VC channels
+		if vc != wantVC[i] {
+			t.Fatalf("hop %d (%s): vc=%d, want %d", i, tr.DescribeChannel(c), vc, wantVC[i])
+		}
+	}
+	// A non-wrapping path stays on VC0.
+	p = wormhole.PathChannels(tr, wormhole.NodeID(tr.Addr(1, 0)), wormhole.NodeID(tr.Addr(3, 0)))
+	for _, c := range p[1 : len(p)-1] {
+		if int(c)%2 != 0 {
+			t.Fatalf("non-wrapping hop on VC1: %s", tr.DescribeChannel(c))
+		}
+	}
+}
+
+// TestLinkGrouping: the two VCs of a (node, dim, dir) share one physical
+// link; inject/eject channels do not.
+func TestLinkGrouping(t *testing.T) {
+	tr := New2D(8, 8)
+	c0 := tr.VCChannel(5, 0, 1, 0)
+	c1 := tr.VCChannel(5, 0, 1, 1)
+	if tr.LinkOf(c0) != tr.LinkOf(c1) {
+		t.Fatal("VC pair on different links")
+	}
+	if tr.LinkOf(tr.VCChannel(5, 0, 0, 0)) == tr.LinkOf(c0) {
+		t.Fatal("opposite directions share a link")
+	}
+	if tr.LinkOf(tr.InjectChannel(3)) != -1 || tr.LinkOf(tr.EjectChannel(3)) != -1 {
+		t.Fatal("inject/eject should have dedicated links")
+	}
+	if tr.NumLinks() != 64*2*2 {
+		t.Fatalf("NumLinks = %d", tr.NumLinks())
+	}
+}
+
+// TestVCBandwidthShared: two worms on the two VCs of one ring segment
+// each get half the physical bandwidth — together they take about twice
+// as long as one alone (plus pipeline constants), and neither starves.
+func TestVCBandwidthShared(t *testing.T) {
+	tr := New(8)
+	cfg := wormhole.DefaultConfig()
+	// Alone: 6 -> 2 wrapping (VC1 after wrap).
+	n1 := wormhole.New(tr, cfg)
+	alone := n1.Send(wormhole.NodeID(6), wormhole.NodeID(2), 4000, nil, nil)
+	if _, err := n1.RunUntilIdle(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	// Together: a wrapping worm (VC1 on physical link 0->1) and a
+	// non-wrapping worm to a different node (VC0 on the same link).
+	n2 := wormhole.New(tr, cfg)
+	w1 := n2.Send(wormhole.NodeID(6), wormhole.NodeID(2), 4000, nil, nil)
+	w2 := n2.Send(wormhole.NodeID(0), wormhole.NodeID(1), 4000, nil, nil)
+	if _, err := n2.RunUntilIdle(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if w1.BlockedCycles != 0 || w2.BlockedCycles != 0 {
+		t.Fatalf("VC worms blocked (%d, %d) — VCs should bypass ownership blocking", w1.BlockedCycles, w2.BlockedCycles)
+	}
+	// w1 loses roughly half its bandwidth while w2's 501 flits share the
+	// physical link 0->1.
+	if w1.ArrivedAt < alone.ArrivedAt+int64(cfg.Flits(4000))/4 {
+		t.Fatalf("no bandwidth sharing visible: alone=%d together=%d", alone.ArrivedAt, w1.ArrivedAt)
+	}
+	if w1.ArrivedAt > 2*alone.ArrivedAt+100 {
+		t.Fatalf("sharing worse than half bandwidth: alone=%d together=%d", alone.ArrivedAt, w1.ArrivedAt)
+	}
+}
+
+// TestTorusDeadlockFreedom: a storm of wrap-heavy traffic (every node
+// sends to its ring antipode, all rings saturated) completes. Without
+// dateline VCs this pattern deadlocks wormhole rings.
+func TestTorusDeadlockFreedom(t *testing.T) {
+	tr := New2D(6, 6)
+	n := wormhole.New(tr, wormhole.DefaultConfig())
+	for u := 0; u < 36; u++ {
+		cs := tr.Coords(u)
+		dst := tr.Addr((cs[0]+3)%6, (cs[1]+3)%6)
+		n.Send(wormhole.NodeID(u), wormhole.NodeID(dst), 800, nil, nil)
+	}
+	if _, err := n.RunUntilIdle(1 << 22); err != nil {
+		t.Fatalf("torus storm did not drain: %v", err)
+	}
+	if err := n.Quiesced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomStormsDrain: heavier randomized traffic also drains, for
+// several seeds — the practical deadlock-freedom check.
+func TestRandomStormsDrain(t *testing.T) {
+	tr := New2D(8, 8)
+	for seed := uint64(0); seed < 5; seed++ {
+		r := sim.NewRNG(seed)
+		n := wormhole.New(tr, wormhole.DefaultConfig())
+		for i := 0; i < 100; i++ {
+			a := r.Intn(64)
+			b := r.Intn(64)
+			if a == b {
+				continue
+			}
+			n.Send(wormhole.NodeID(a), wormhole.NodeID(b), 400+r.Intn(2000), nil, nil)
+		}
+		if _, err := n.RunUntilIdle(1 << 23); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestMulticastOnTorus: the full runtime works on the torus; the
+// dimension-ordered chain reduces contention versus random order but —
+// unlike on the mesh — does not always eliminate it (wrap links break
+// the direction lemma). This is the premise of experiment T1.
+func TestMulticastOnTorus(t *testing.T) {
+	tr := New2D(16, 16)
+	cfg := mcastsim.Config{Software: soft}
+	const bytes = 4096
+	tab := core.NewOptTable(32, soft.Hold.At(bytes), 2300)
+
+	var ordered, random int64
+	for seed := uint64(0); seed < 8; seed++ {
+		addrs := sim.NewRNG(seed).Sample(256, 32)
+		chO := chain.New(addrs, tr.DimOrderLess)
+		root, _ := chO.Index(addrs[0])
+		r1, err := mcastsim.Run(wormhole.New(tr, wormhole.DefaultConfig()), tab, chO, root, bytes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered += r1.BlockedCycles
+
+		r2, err := mcastsim.Run(wormhole.New(tr, wormhole.DefaultConfig()), tab, chain.Unordered(addrs), 0, bytes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		random += r2.BlockedCycles
+	}
+	if random == 0 {
+		t.Fatal("random order never contended on the torus")
+	}
+	if ordered >= random {
+		t.Fatalf("dimension order did not reduce torus contention: %d vs %d", ordered, random)
+	}
+}
+
+func TestDescribeChannel(t *testing.T) {
+	tr := New2D(4, 4)
+	if s := tr.DescribeChannel(tr.InjectChannel(0)); s == "" || s == "none" {
+		t.Errorf("inject: %q", s)
+	}
+	if s := tr.DescribeChannel(tr.VCChannel(0, 0, 1, 1)); s == "" || s == "none" {
+		t.Errorf("vc: %q", s)
+	}
+	if s := tr.DescribeChannel(wormhole.ChannelID(-1)); s != "none" {
+		t.Errorf("invalid: %q", s)
+	}
+}
+
+// TestDimOrderTotal property.
+func TestDimOrderTotal(t *testing.T) {
+	tr := New2D(8, 8)
+	f := func(ar, br uint8) bool {
+		a, b := int(ar)%64, int(br)%64
+		la, lb := tr.DimOrderLess(a, b), tr.DimOrderLess(b, a)
+		if a == b {
+			return !la && !lb
+		}
+		return la != lb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,451 @@
+package wormhole
+
+import (
+	"fmt"
+)
+
+// Config holds the fabric parameters. The zero value is not valid; use
+// DefaultConfig and adjust.
+type Config struct {
+	// FlitBytes is the payload carried per flit.
+	FlitBytes int
+	// HeaderFlits is the per-message header overhead in flits (routing
+	// information, destination address list framing).
+	HeaderFlits int
+	// BufFlits is the flit buffer capacity of every channel. Wormhole
+	// routers traditionally have very small buffers; 2 is typical.
+	BufFlits int
+	// RouterDelay is the number of cycles a router needs to make a
+	// routing decision for a header flit at each hop.
+	RouterDelay int64
+}
+
+// DefaultConfig returns the fabric parameters used by the experiments:
+// 8-byte flits, 1 header flit, 2-flit channel buffers, 1-cycle routing
+// decisions.
+func DefaultConfig() Config {
+	return Config{FlitBytes: 8, HeaderFlits: 1, BufFlits: 2, RouterDelay: 1}
+}
+
+// Validate reports an error for non-positive parameters.
+func (c Config) Validate() error {
+	if c.FlitBytes <= 0 {
+		return fmt.Errorf("wormhole: FlitBytes %d <= 0", c.FlitBytes)
+	}
+	if c.HeaderFlits <= 0 {
+		return fmt.Errorf("wormhole: HeaderFlits %d <= 0 (the header flit carries the route)", c.HeaderFlits)
+	}
+	if c.BufFlits <= 0 {
+		return fmt.Errorf("wormhole: BufFlits %d <= 0", c.BufFlits)
+	}
+	if c.RouterDelay < 0 {
+		return fmt.Errorf("wormhole: RouterDelay %d < 0", c.RouterDelay)
+	}
+	return nil
+}
+
+// Flits returns the number of flits a message of the given payload size
+// occupies under this configuration.
+func (c Config) Flits(bytes int) int {
+	return c.HeaderFlits + (bytes+c.FlitBytes-1)/c.FlitBytes
+}
+
+// ArrivalFunc is invoked (after the cycle's phases complete) when a worm's
+// tail flit has been consumed by the destination interface.
+type ArrivalFunc func(w *Worm, now int64)
+
+// Observer receives fabric events for tracing and analysis. All methods
+// are called synchronously from Step; implementations must not mutate the
+// network. A nil observer costs one predictable branch per event.
+type Observer interface {
+	// Acquire fires when a worm takes ownership of a channel.
+	Acquire(now int64, w *Worm, c ChannelID)
+	// Release fires when the worm's last flit leaves the channel.
+	Release(now int64, w *Worm, c ChannelID)
+	// Blocked fires each cycle a header wants a channel owned by
+	// another worm; holder is the current owner.
+	Blocked(now int64, w *Worm, c ChannelID, holder *Worm)
+	// Complete fires when the worm's tail is consumed at its
+	// destination.
+	Complete(now int64, w *Worm)
+}
+
+// Worm is one in-flight message.
+type Worm struct {
+	// ID is the creation sequence number; arbitration is oldest-first.
+	ID int64
+	// Src and Dst are the endpoints.
+	Src, Dst NodeID
+	// Bytes is the payload size.
+	Bytes int
+	// Tag carries caller context (e.g. the multicast segment) untouched.
+	Tag any
+
+	// BlockedCycles counts cycles the header spent wanting a channel
+	// owned by another worm: the network-contention metric of the paper.
+	BlockedCycles int64
+	// InjectWaitCycles counts cycles spent waiting for the node's single
+	// injection channel (one-port serialization, not network contention).
+	InjectWaitCycles int64
+	// InjectedAt is the cycle the first flit entered the fabric.
+	InjectedAt int64
+	// ArrivedAt is the cycle the tail flit was consumed at Dst.
+	ArrivedAt int64
+
+	flits         int
+	path          []ChannelID
+	passed        []int // flits that have exited path[i]
+	injected      int
+	headerReadyAt int64
+	routed        bool // path ends at Dst's ejection channel
+	done          bool
+	onArrive      ArrivalFunc
+	createdAt     int64
+}
+
+// Flits returns the worm's total flit count.
+func (w *Worm) Flits() int { return w.flits }
+
+// Path returns the channels acquired so far (shared slice; do not modify).
+func (w *Worm) Path() []ChannelID { return w.path }
+
+// Done reports whether the worm has been fully consumed at its
+// destination.
+func (w *Worm) Done() bool { return w.done }
+
+func (w *Worm) entered(i int) int {
+	if i == 0 {
+		return w.injected
+	}
+	return w.passed[i-1]
+}
+
+func (w *Worm) occ(i int) int { return w.entered(i) - w.passed[i] }
+
+// Stats aggregates fabric-level counters across completed worms.
+type Stats struct {
+	// Cycles is the number of simulated cycles stepped.
+	Cycles int64
+	// Worms is the number of completed messages.
+	Worms int64
+	// FlitHops counts every flit-channel event: injection into the first
+	// channel, each inter-channel move, and consumption out of the last —
+	// flits*(pathLen+1) per worm.
+	FlitHops int64
+	// BlockedCycles sums header-blocked cycles over all worms
+	// (contention).
+	BlockedCycles int64
+	// InjectWaitCycles sums one-port injection waiting over all worms.
+	InjectWaitCycles int64
+}
+
+// Network is the simulator state for one fabric instance.
+type Network struct {
+	topo Topology
+	cfg  Config
+	now  int64
+
+	owner  []*Worm // per channel; nil = free
+	inject []ChannelID
+	eject  []ChannelID
+
+	worms     []*Worm // active, in creation order
+	completed []*Worm // filled during a Step, drained at its end
+	nextID    int64
+	routeBuf  []ChannelID
+	stats     Stats
+	obs       Observer
+
+	// Virtual-channel support (nil lg = every channel has its own link).
+	lg        LinkGrouper
+	linkStamp []int64 // cycle a link last carried a flit
+	rotation  int     // phase-A fairness rotation among worms
+}
+
+// New creates a network over the given topology. It panics on an invalid
+// config, which is a programming error, not an operational condition.
+func New(topo Topology, cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := &Network{
+		topo:   topo,
+		cfg:    cfg,
+		owner:  make([]*Worm, topo.NumChannels()),
+		inject: make([]ChannelID, topo.NumNodes()),
+		eject:  make([]ChannelID, topo.NumNodes()),
+	}
+	for i := 0; i < topo.NumNodes(); i++ {
+		n.inject[i] = topo.InjectChannel(NodeID(i))
+		n.eject[i] = topo.EjectChannel(NodeID(i))
+	}
+	if lg, ok := topo.(LinkGrouper); ok {
+		n.lg = lg
+		n.linkStamp = make([]int64, lg.NumLinks())
+		for i := range n.linkStamp {
+			n.linkStamp[i] = -1
+		}
+	}
+	return n
+}
+
+// linkFree reports whether a flit may enter channel c this cycle, and
+// claims the underlying physical link if so. Channels with dedicated
+// links (or on fabrics without virtual channels) are always free.
+func (n *Network) linkFree(c ChannelID) bool {
+	if n.lg == nil {
+		return true
+	}
+	l := n.lg.LinkOf(c)
+	if l < 0 {
+		return true
+	}
+	if n.linkStamp[l] == n.now {
+		return false
+	}
+	n.linkStamp[l] = n.now
+	return true
+}
+
+// Topology returns the fabric's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// Config returns the fabric parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Now returns the current simulation time in cycles.
+func (n *Network) Now() int64 { return n.now }
+
+// Active returns the number of in-flight worms.
+func (n *Network) Active() int { return len(n.worms) }
+
+// Stats returns a snapshot of the aggregate counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetObserver installs (or, with nil, removes) a fabric event observer.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// AdvanceTo fast-forwards the clock when the fabric is idle, so software
+// latencies far larger than network activity do not cost simulation work.
+// It panics if worms are in flight or t is in the past.
+func (n *Network) AdvanceTo(t int64) {
+	if len(n.worms) != 0 {
+		panic("wormhole: AdvanceTo with active worms")
+	}
+	if t < n.now {
+		panic(fmt.Sprintf("wormhole: AdvanceTo(%d) before now=%d", t, n.now))
+	}
+	n.now = t
+}
+
+// Send creates a worm from src to dst carrying bytes of payload. The worm
+// begins competing for src's injection channel on the next Step. onArrive
+// (optional) fires when the tail flit is consumed at dst. Sending to
+// oneself is allowed (the worm traverses the local inject/eject pair).
+func (n *Network) Send(src, dst NodeID, bytes int, tag any, onArrive ArrivalFunc) *Worm {
+	if bytes < 0 {
+		panic(fmt.Sprintf("wormhole: Send with negative size %d", bytes))
+	}
+	if int(src) < 0 || int(src) >= n.topo.NumNodes() || int(dst) < 0 || int(dst) >= n.topo.NumNodes() {
+		panic(fmt.Sprintf("wormhole: Send endpoints %d->%d out of range [0,%d)", src, dst, n.topo.NumNodes()))
+	}
+	w := &Worm{
+		ID:        n.nextID,
+		Src:       src,
+		Dst:       dst,
+		Bytes:     bytes,
+		Tag:       tag,
+		flits:     n.cfg.Flits(bytes),
+		onArrive:  onArrive,
+		createdAt: n.now,
+	}
+	n.nextID++
+	n.worms = append(n.worms, w)
+	return w
+}
+
+// Step advances the simulation by one cycle: flits move downstream-first,
+// then headers attempt channel acquisition oldest-worm-first, then arrival
+// callbacks fire for worms completed this cycle.
+func (n *Network) Step() {
+	n.now++
+	n.stats.Cycles++
+	// Phase A rotates its starting worm for fairness on shared physical
+	// links; without link sharing, worm order in this phase is
+	// immaterial (channels are owned exclusively and acquisition happens
+	// in phase B).
+	if k := len(n.worms); k > 0 {
+		start := n.rotation % k
+		n.rotation++
+		for i := 0; i < k; i++ {
+			n.moveFlits(n.worms[(start+i)%k])
+		}
+	}
+	for _, w := range n.worms {
+		n.routeHeader(w)
+	}
+	if len(n.completed) > 0 {
+		n.reap()
+	}
+}
+
+// moveFlits advances the worm's flits one channel downstream-first, so a
+// flit vacating a buffer makes room for its upstream neighbour within the
+// same cycle (full pipelining at one flit per channel per cycle).
+func (n *Network) moveFlits(w *Worm) {
+	if w.done || len(w.path) == 0 {
+		return
+	}
+	last := len(w.path) - 1
+	// Consumption at the destination interface (exits the fabric; no
+	// physical link consumed).
+	if w.routed && w.occ(last) > 0 {
+		w.passed[last]++
+		n.stats.FlitHops++
+		if w.passed[last] == w.flits {
+			n.release(w, last)
+			w.done = true
+			w.ArrivedAt = n.now
+			n.completed = append(n.completed, w)
+		}
+	}
+	// Interior hops.
+	for i := last - 1; i >= 0; i-- {
+		if w.occ(i) > 0 && w.occ(i+1) < n.cfg.BufFlits && n.linkFree(w.path[i+1]) {
+			w.passed[i]++
+			n.stats.FlitHops++
+			if w.entered(i+1) == 1 && i+1 == last && !w.routed {
+				// The header flit just reached the frontier router.
+				w.headerReadyAt = n.now + n.cfg.RouterDelay
+			}
+			if w.passed[i] == w.flits {
+				n.release(w, i)
+			}
+		}
+	}
+	// Injection from the source interface.
+	if w.injected < w.flits && w.occ(0) < n.cfg.BufFlits && n.linkFree(w.path[0]) {
+		w.injected++
+		n.stats.FlitHops++
+		if w.injected == 1 {
+			w.InjectedAt = n.now
+			if last == 0 && !w.routed {
+				w.headerReadyAt = n.now + n.cfg.RouterDelay
+			}
+		}
+	}
+}
+
+// routeHeader attempts one channel acquisition for the worm's header.
+func (n *Network) routeHeader(w *Worm) {
+	if w.done || w.routed {
+		return
+	}
+	if len(w.path) == 0 {
+		// Compete for the node's single injection channel.
+		c := n.inject[w.Src]
+		if n.owner[c] == nil {
+			n.acquire(w, c)
+		} else {
+			w.InjectWaitCycles++
+		}
+		return
+	}
+	last := len(w.path) - 1
+	if w.entered(last) == 0 || n.now < w.headerReadyAt {
+		return // header flit not yet at the frontier, or still routing
+	}
+	cands := n.topo.Route(w.path[last], w.Src, w.Dst, n.routeBuf[:0])
+	n.routeBuf = cands[:0]
+	for _, c := range cands {
+		if n.owner[c] == nil {
+			n.acquire(w, c)
+			return
+		}
+	}
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("wormhole: topology returned no route from %s for %d->%d",
+			n.topo.DescribeChannel(w.path[last]), w.Src, w.Dst))
+	}
+	w.BlockedCycles++
+	if n.obs != nil {
+		n.obs.Blocked(n.now, w, cands[0], n.owner[cands[0]])
+	}
+}
+
+func (n *Network) acquire(w *Worm, c ChannelID) {
+	n.owner[c] = w
+	w.path = append(w.path, c)
+	w.passed = append(w.passed, 0)
+	if c == n.eject[w.Dst] {
+		w.routed = true
+	}
+	if n.obs != nil {
+		n.obs.Acquire(n.now, w, c)
+	}
+}
+
+func (n *Network) release(w *Worm, i int) {
+	c := w.path[i]
+	if n.owner[c] != w {
+		panic(fmt.Sprintf("wormhole: releasing channel %s not owned by worm %d", n.topo.DescribeChannel(c), w.ID))
+	}
+	n.owner[c] = nil
+	if n.obs != nil {
+		n.obs.Release(n.now, w, c)
+	}
+}
+
+// reap removes completed worms, preserving creation order of the rest,
+// then fires arrival callbacks in completion order.
+func (n *Network) reap() {
+	live := n.worms[:0]
+	for _, w := range n.worms {
+		if !w.done {
+			live = append(live, w)
+		}
+	}
+	n.worms = live
+	done := n.completed
+	n.completed = n.completed[:0]
+	for _, w := range done {
+		n.stats.Worms++
+		n.stats.BlockedCycles += w.BlockedCycles
+		n.stats.InjectWaitCycles += w.InjectWaitCycles
+		if n.obs != nil {
+			n.obs.Complete(n.now, w)
+		}
+		if w.onArrive != nil {
+			w.onArrive(w, n.now)
+		}
+	}
+}
+
+// RunUntilIdle steps until no worms are in flight, up to maxCycles. It
+// returns the number of cycles stepped and an error on timeout (which in
+// a correct deadlock-free topology indicates a routing bug).
+func (n *Network) RunUntilIdle(maxCycles int64) (int64, error) {
+	start := n.now
+	for len(n.worms) > 0 {
+		if n.now-start >= maxCycles {
+			return n.now - start, fmt.Errorf("wormhole: network not idle after %d cycles (%d worms in flight)", maxCycles, len(n.worms))
+		}
+		n.Step()
+	}
+	return n.now - start, nil
+}
+
+// Quiesced verifies the post-run invariants: no active worms and every
+// channel released. Tests call this to prove conservation (flits injected
+// were all consumed and nothing leaked).
+func (n *Network) Quiesced() error {
+	if len(n.worms) != 0 {
+		return fmt.Errorf("wormhole: %d worms still active", len(n.worms))
+	}
+	for c, w := range n.owner {
+		if w != nil {
+			return fmt.Errorf("wormhole: channel %s still owned by worm %d", n.topo.DescribeChannel(ChannelID(c)), w.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package repro is a from-scratch reproduction of
+//
+//	N. Nupairoj, L. M. Ni, J.-Y. L. Park, H.-A. Choi,
+//	"Architecture-Dependent Tuning of the Parameterized Communication
+//	Model for Optimal Multicasting", IPPS 1997.
+//
+// It provides, as one coherent library:
+//
+//   - The parameterized communication model (t_send, t_recv, t_net,
+//     t_hold, t_end) with linear-in-size parameters and least-squares
+//     fitting from measurements (Model* identifiers).
+//   - The OPT-tree dynamic program (Algorithm 2.1) and the analytic tree
+//     machinery: optimal split tables, binomial and sequential baselines,
+//     explicit multicast trees and their contention-free evaluation.
+//   - The architecture-dependent planners (Algorithms 3.1/4.1): one
+//     splitting engine over ordered chains instantiates OPT-mesh,
+//     OPT-min, U-mesh and U-min.
+//   - A deterministic flit-level wormhole network simulator with two
+//     fabrics: n-dimensional meshes with XY routing and bidirectional
+//     MINs (2x2 switches) with turnaround routing, plus a unidirectional
+//     butterfly for the paper's future-work discussion.
+//   - A multicast runtime that executes any planner on the simulated
+//     fabric under the model's software costs, reporting latency and
+//     contention.
+//   - The experiment harness regenerating every figure of the paper's
+//     evaluation.
+//
+// The facade below re-exports the user-facing API via type aliases; the
+// implementations live in the internal packages, one per subsystem.
+//
+// Quick start:
+//
+//	soft := repro.DefaultSoftware()
+//	suite := repro.NewMeshSuite(16, 16)
+//	table, err := repro.Figure2(suite)
+//	fmt.Print(table.Format())
+//
+// or, analytically:
+//
+//	tab := repro.NewOptTable(32, 20, 55)       // t_hold=20, t_end=55
+//	fmt.Println(tab.T(32))                      // optimal latency
+package repro
+
+import (
+	"repro/internal/bfly"
+	"repro/internal/bmin"
+	"repro/internal/chain"
+	"repro/internal/collective"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/mcastsim"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/temporal"
+	"repro/internal/torus"
+	"repro/internal/trace"
+	"repro/internal/wormhole"
+)
+
+// ---- Parameterized communication model ----
+
+// Time is simulated time in cycles.
+type Time = model.Time
+
+// Linear is a latency growing linearly with message size.
+type Linear = model.Linear
+
+// Software holds the host-side model parameters (t_send, t_recv, t_hold).
+type Software = model.Software
+
+// Params is a full parameter set including the measured t_net.
+type Params = model.Params
+
+// Point is a (size, latency) measurement for model fitting.
+type Point = model.Point
+
+// DefaultSoftware returns the experiment defaults (see model docs).
+func DefaultSoftware() Software { return model.DefaultSoftware() }
+
+// Fit least-squares fits a Linear latency to measurements.
+func Fit(pts []Point) (Linear, error) { return model.Fit(pts) }
+
+// ---- OPT-tree and analytic machinery ----
+
+// SplitTable describes a multicast tree family by its source-side split
+// sizes.
+type SplitTable = core.SplitTable
+
+// OptTable is the OPT-tree dynamic program result.
+type OptTable = core.OptTable
+
+// BinomialTable is the U-mesh/U-min recursive-doubling family.
+type BinomialTable = core.BinomialTable
+
+// SequentialTable is the separate-addressing baseline family.
+type SequentialTable = core.SequentialTable
+
+// Tree is an explicit multicast tree with ordered children.
+type Tree = core.Tree
+
+// NewOptTable runs Algorithm 2.1 for up to k nodes.
+func NewOptTable(k int, thold, tend Time) *OptTable { return core.NewOptTable(k, thold, tend) }
+
+// Latency evaluates a split-table family analytically for i nodes.
+func Latency(tab SplitTable, i int, thold, tend Time) Time {
+	return core.Latency(tab, i, thold, tend)
+}
+
+// OptimalLatency is the O(k^2) oracle for the optimal multicast latency.
+func OptimalLatency(k int, thold, tend Time) Time { return core.OptimalLatency(k, thold, tend) }
+
+// ---- Chains and planning ----
+
+// Chain is an ordered sequence of node addresses.
+type Chain = chain.Chain
+
+// Segment is a contiguous chain index range.
+type Segment = chain.Segment
+
+// NewChain sorts addresses by an architecture order.
+func NewChain(addrs []int, less func(a, b int) bool) Chain { return chain.New(addrs, less) }
+
+// UnorderedChain keeps the given order (the architecture-independent
+// OPT-tree).
+func UnorderedChain(addrs []int) Chain { return chain.Unordered(addrs) }
+
+// ---- Fabrics ----
+
+// Topology is the fabric interface consumed by the simulator.
+type Topology = wormhole.Topology
+
+// NodeID identifies a processing node.
+type NodeID = wormhole.NodeID
+
+// ChannelID identifies a unidirectional fabric channel.
+type ChannelID = wormhole.ChannelID
+
+// Network is the flit-level wormhole simulator.
+type Network = wormhole.Network
+
+// FabricConfig holds flit-level fabric parameters.
+type FabricConfig = wormhole.Config
+
+// Mesh is an n-dimensional mesh with dimension-ordered routing.
+type Mesh = mesh.Mesh
+
+// BMIN is a bidirectional MIN with turnaround routing.
+type BMIN = bmin.BMIN
+
+// AscentPolicy selects the BMIN up-path choice.
+type AscentPolicy = bmin.AscentPolicy
+
+// BMIN ascent policies.
+const (
+	AscentStraight     = bmin.AscentStraight
+	AscentDest         = bmin.AscentDest
+	AscentAdaptive     = bmin.AscentAdaptive
+	AscentAdaptiveDest = bmin.AscentAdaptiveDest
+)
+
+// DefaultFabricConfig returns the experiments' fabric parameters.
+func DefaultFabricConfig() FabricConfig { return wormhole.DefaultConfig() }
+
+// Butterfly is a unidirectional butterfly MIN (non-partitionable; the
+// paper's §6 future-work fabric).
+type Butterfly = bfly.Butterfly
+
+// Observer receives fabric events for tracing (see package trace for
+// ready-made implementations).
+type Observer = wormhole.Observer
+
+// NewMesh2D builds a W×H mesh topology.
+func NewMesh2D(w, h int) *Mesh { return mesh.New2D(w, h) }
+
+// NewMesh builds an n-dimensional mesh with the given side lengths.
+func NewMesh(dims ...int) *Mesh { return mesh.New(dims...) }
+
+// NewHypercube builds a 2^dim-node binary hypercube (e-cube routing).
+func NewHypercube(dim int) *Mesh { return mesh.NewHypercube(dim) }
+
+// NewBMIN builds an N-node BMIN (N a power of two).
+func NewBMIN(nodes int, policy AscentPolicy) *BMIN { return bmin.New(nodes, policy) }
+
+// NewButterfly builds an N-node unidirectional butterfly MIN.
+func NewButterfly(nodes int) *Butterfly { return bfly.New(nodes) }
+
+// Torus is a wrap-around mesh with dateline virtual channels.
+type Torus = torus.Torus
+
+// NewTorus2D builds a W×H torus topology.
+func NewTorus2D(w, h int) *Torus { return torus.New2D(w, h) }
+
+// NewTorusSuite returns the methodology on a W×H torus.
+func NewTorusSuite(w, h int) *Suite {
+	return exp.DefaultSuite(exp.TorusPlatform(w, h, wormhole.DefaultConfig()))
+}
+
+// NewNetwork builds a simulator over a topology.
+func NewNetwork(t Topology, cfg FabricConfig) *Network { return wormhole.New(t, cfg) }
+
+// ---- Multicast runtime ----
+
+// RunConfig parameterizes a multicast execution.
+type RunConfig = mcastsim.Config
+
+// RunResult reports a multicast execution.
+type RunResult = mcastsim.Result
+
+// RunMulticast executes a multicast on the simulated fabric.
+func RunMulticast(net *Network, tab SplitTable, ch Chain, root, msgBytes int, cfg RunConfig) (RunResult, error) {
+	return mcastsim.Run(net, tab, ch, root, msgBytes, cfg)
+}
+
+// MeasureUnicast runs one calibration unicast (measures t_end).
+func MeasureUnicast(net *Network, src, dst, msgBytes int, cfg RunConfig) (int64, error) {
+	return mcastsim.Unicast(net, src, dst, msgBytes, cfg)
+}
+
+// Group is one multicast of a concurrent batch.
+type Group = mcastsim.Group
+
+// GroupResult reports one group of a concurrent batch.
+type GroupResult = mcastsim.GroupResult
+
+// RunConcurrent executes several multicasts on one fabric at the same
+// time (disjoint node sets, shared network) and reports the
+// cross-multicast interference.
+func RunConcurrent(net *Network, groups []Group, cfg RunConfig) ([]GroupResult, error) {
+	return mcastsim.RunConcurrent(net, groups, cfg)
+}
+
+// ---- Collectives ----
+
+// CollectiveResult reports a scatter/all-gather broadcast.
+type CollectiveResult = collective.Result
+
+// ScatterAllgather runs Barnett-style scatter + ring all-gather
+// broadcast from the chain head, the architecture-specific baseline of
+// the paper's introduction.
+func ScatterAllgather(net *Network, ch Chain, msgBytes int, cfg RunConfig) (CollectiveResult, error) {
+	return collective.ScatterAllgather(net, ch, msgBytes, cfg)
+}
+
+// ---- Temporal tuning (the paper's §6 future work) ----
+
+// TuneConfig parameterizes a temporal-tuning search.
+type TuneConfig = temporal.Config
+
+// TuneResult reports a temporal-tuning search.
+type TuneResult = temporal.Result
+
+// TuneOrdering searches for a chain ordering minimizing predicted
+// contention on a non-partitionable fabric, keeping the optimal tree
+// shape (see package temporal).
+func TuneOrdering(cfg TuneConfig, tab SplitTable, addrs []int, bytes int, thold, tend Time) (*TuneResult, error) {
+	return temporal.Tune(cfg, tab, addrs, bytes, thold, tend)
+}
+
+// ---- Static verification ----
+
+// ContentionChecker statically verifies schedules for channel conflicts,
+// independently of the simulator.
+type ContentionChecker = contention.Checker
+
+// Conflict is one pair of overlapping transmissions sharing a channel.
+type Conflict = contention.Conflict
+
+// ---- Tracing ----
+
+// ChannelUsage accumulates per-channel busy time and blocking.
+type ChannelUsage = trace.ChannelUsage
+
+// Timeline records per-message fabric spans and renders Gantt charts.
+type Timeline = trace.Timeline
+
+// NewChannelUsage builds a channel-utilization observer.
+func NewChannelUsage(t Topology) *ChannelUsage { return trace.NewChannelUsage(t) }
+
+// NewTimeline builds a message-timeline observer.
+func NewTimeline() *Timeline { return trace.NewTimeline() }
+
+// ---- Experiments ----
+
+// Suite is an experiment campaign on one platform.
+type Suite = exp.Suite
+
+// Platform is a simulated machine.
+type Platform = exp.Platform
+
+// Algorithm couples an ordering policy with a tree family.
+type Algorithm = exp.Algorithm
+
+// ResultTable is a rendered figure: columns per algorithm, rows per x.
+type ResultTable = exp.Table
+
+// Figure1Result holds the paper's worked example.
+type Figure1Result = exp.Figure1Result
+
+// NewMeshSuite returns the paper's mesh methodology (16 trials, default
+// software, default fabric) on a W×H mesh.
+func NewMeshSuite(w, h int) *Suite {
+	return exp.DefaultSuite(exp.MeshPlatform(w, h, wormhole.DefaultConfig()))
+}
+
+// NewBMINSuite returns the paper's BMIN methodology on an N-node BMIN.
+func NewBMINSuite(nodes int, policy AscentPolicy) *Suite {
+	return exp.DefaultSuite(exp.BMINPlatform(nodes, policy, wormhole.DefaultConfig()))
+}
+
+// NewHypercubeSuite returns the methodology on a 2^dim-node hypercube.
+func NewHypercubeSuite(dim int) *Suite {
+	return exp.DefaultSuite(exp.HypercubePlatform(dim, wormhole.DefaultConfig()))
+}
+
+// NewButterflySuite returns the methodology on an N-node butterfly.
+func NewButterflySuite(nodes int) *Suite {
+	return exp.DefaultSuite(exp.ButterflyPlatform(nodes, wormhole.DefaultConfig()))
+}
+
+// Figure1 computes the worked example (OPT 130 vs U-mesh 165).
+func Figure1() (*Figure1Result, error) { return exp.Figure1() }
+
+// Figure2 regenerates the 32-node message-size sweep on a mesh suite.
+func Figure2(s *Suite) (*ResultTable, error) { return exp.Figure2(s) }
+
+// Figure2b regenerates the 128-node variant.
+func Figure2b(s *Suite) (*ResultTable, error) { return exp.Figure2b(s) }
+
+// Figure3 regenerates the 4-KB node-count sweep.
+func Figure3(s *Suite) (*ResultTable, error) { return exp.Figure3(s) }
+
+// BMINSizes regenerates the BMIN message-size sweep.
+func BMINSizes(s *Suite) (*ResultTable, error) { return exp.BMINSizes(s) }
+
+// BMINNodes regenerates the BMIN node-count sweep.
+func BMINNodes(s *Suite) (*ResultTable, error) { return exp.BMINNodes(s) }
+
+// MeshAlgorithms returns the U-mesh / OPT-tree / OPT-mesh series.
+func MeshAlgorithms() []Algorithm { return exp.MeshAlgorithms() }
+
+// BMINAlgorithms returns the U-min / OPT-tree / OPT-min series.
+func BMINAlgorithms() []Algorithm { return exp.BMINAlgorithms() }

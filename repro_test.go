@@ -1,0 +1,183 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeFigure1: the public API reproduces the paper's worked example.
+func TestFacadeFigure1(t *testing.T) {
+	f, err := repro.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.OptLatency != 130 || f.UMeshLat != 165 {
+		t.Fatalf("figure 1 = %d/%d, want 130/165", f.OptLatency, f.UMeshLat)
+	}
+}
+
+// TestFacadeOptTable: DP results through the facade.
+func TestFacadeOptTable(t *testing.T) {
+	tab := repro.NewOptTable(8, 20, 55)
+	if tab.T(8) != 130 {
+		t.Fatalf("T(8) = %d", tab.T(8))
+	}
+	if got := repro.OptimalLatency(8, 20, 55); got != 130 {
+		t.Fatalf("oracle = %d", got)
+	}
+	if got := repro.Latency(repro.BinomialTable{Max: 8}, 8, 20, 55); got != 165 {
+		t.Fatalf("binomial = %d", got)
+	}
+}
+
+// TestFacadeSimulationPipeline: measure, plan, run — the user journey —
+// on both fabrics through public identifiers only.
+func TestFacadeSimulationPipeline(t *testing.T) {
+	soft := repro.DefaultSoftware()
+	cfg := repro.RunConfig{Software: soft}
+	fabric := repro.DefaultFabricConfig()
+
+	m := repro.NewMesh2D(8, 8)
+	tend, err := repro.MeasureUnicast(repro.NewNetwork(m, fabric), 0, 63, 1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []int{0, 9, 18, 27, 36, 45, 54, 63}
+	ch := repro.NewChain(addrs, m.DimOrderLess)
+	root, ok := ch.Index(0)
+	if !ok {
+		t.Fatal("source lost")
+	}
+	tab := repro.NewOptTable(len(ch), soft.Hold.At(1024), tend)
+	res, err := repro.RunMulticast(repro.NewNetwork(m, fabric), tab, ch, root, 1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockedCycles != 0 {
+		t.Fatalf("OPT-mesh blocked %d cycles", res.BlockedCycles)
+	}
+	if res.Latency <= tend {
+		t.Fatalf("multicast (%d) not longer than a unicast (%d)", res.Latency, tend)
+	}
+
+	b := repro.NewBMIN(64, repro.AscentStraight)
+	chB := repro.NewChain(addrs, b.LexLess)
+	resB, err := repro.RunMulticast(repro.NewNetwork(b, fabric), tab, chB, 0, 1024, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.BlockedCycles != 0 {
+		t.Fatalf("OPT-min blocked %d cycles", resB.BlockedCycles)
+	}
+}
+
+// TestFacadeSuiteSweep: a tiny sweep through the experiment API.
+func TestFacadeSuiteSweep(t *testing.T) {
+	s := repro.NewMeshSuite(8, 8)
+	s.Trials = 2
+	tab, err := s.SweepSizes("facade", 8, []int{1024}, repro.MeshAlgorithms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Algorithms) != 3 {
+		t.Fatalf("table shape wrong: %+v", tab)
+	}
+	if tab.Format() == "" || tab.CSV() == "" {
+		t.Fatal("rendering empty")
+	}
+}
+
+// TestFacadeExtensions exercises the extension surface: torus,
+// hypercube, butterfly, collectives, tuner, checker, tracing.
+func TestFacadeExtensions(t *testing.T) {
+	soft := repro.DefaultSoftware()
+	cfg := repro.RunConfig{Software: soft}
+	fabric := repro.DefaultFabricConfig()
+
+	// Hypercube multicast through the facade.
+	hc := repro.NewHypercube(5)
+	addrs := []int{0, 3, 7, 12, 17, 21, 26, 31}
+	ch := repro.NewChain(addrs, hc.DimOrderLess)
+	root, _ := ch.Index(0)
+	tab := repro.NewOptTable(len(ch), 700, 1800)
+	res, err := repro.RunMulticast(repro.NewNetwork(hc, fabric), tab, ch, root, 1024, cfg)
+	if err != nil || res.BlockedCycles != 0 {
+		t.Fatalf("hypercube: res=%+v err=%v", res, err)
+	}
+
+	// Torus with a tracing observer.
+	tr := repro.NewTorus2D(8, 8)
+	net := repro.NewNetwork(tr, fabric)
+	usage := repro.NewChannelUsage(tr)
+	var obs repro.Observer = usage
+	net.SetObserver(obs)
+	chT := repro.NewChain(addrs, tr.DimOrderLess)
+	rootT, _ := chT.Index(0)
+	if _, err := repro.RunMulticast(net, tab, chT, rootT, 1024, cfg); err != nil {
+		t.Fatalf("torus: %v", err)
+	}
+
+	// Scatter-allgather on the mesh.
+	m := repro.NewMesh2D(8, 8)
+	chM := repro.NewChain(addrs, m.DimOrderLess)
+	scr, err := repro.ScatterAllgather(repro.NewNetwork(m, fabric), chM, 8192, cfg)
+	if err != nil || scr.Latency <= 0 {
+		t.Fatalf("scatter: res=%+v err=%v", scr, err)
+	}
+
+	// Temporal tuner on the butterfly.
+	bf := repro.NewButterfly(32)
+	tuned, err := repro.TuneOrdering(repro.TuneConfig{
+		Topo: bf, Software: soft, Iterations: 60, Seed: 4,
+	}, repro.NewOptTable(8, 700, 1800), addrs, 1024, 700, 1800)
+	if err != nil || len(tuned.Chain) != len(addrs) {
+		t.Fatalf("tune: res=%+v err=%v", tuned, err)
+	}
+
+	// Static checker on the mesh chain.
+	k := &repro.ContentionChecker{Topo: m, Software: soft, Slack: 50}
+	conflicts, err := k.Check(tab, chM, 0, 1024, 700, 1800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Fatalf("OPT-mesh chain conflicted: %v", conflicts[0])
+	}
+
+	// Concurrent batch.
+	groups := []repro.Group{
+		{Tab: tab, Chain: repro.NewChain([]int{0, 9, 18, 27}, m.DimOrderLess), Root: 0, Bytes: 512},
+		{Tab: tab, Chain: repro.NewChain([]int{36, 45, 54, 63}, m.DimOrderLess), Root: 0, Bytes: 512},
+	}
+	batch, err := repro.RunConcurrent(repro.NewNetwork(m, fabric), groups, cfg)
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("concurrent: %v", err)
+	}
+
+	// Suites for every platform construct.
+	for _, s := range []*repro.Suite{
+		repro.NewMeshSuite(8, 8), repro.NewBMINSuite(64, repro.AscentStraight),
+		repro.NewHypercubeSuite(5), repro.NewButterflySuite(64), repro.NewTorusSuite(8, 8),
+	} {
+		if s.Platform.Nodes == 0 {
+			t.Fatal("suite with empty platform")
+		}
+	}
+}
+
+// TestFacadeFit: model fitting through the facade.
+func TestFacadeFit(t *testing.T) {
+	truth := repro.Linear{Fixed: 100, PerByte: 0.5}
+	pts := []repro.Point{}
+	for _, m := range []int{0, 100, 1000} {
+		pts = append(pts, repro.Point{Bytes: m, T: truth.At(m)})
+	}
+	got, err := repro.Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(500) != truth.At(500) {
+		t.Fatalf("fit drifted: %v vs %v", got, truth)
+	}
+}
