@@ -1,0 +1,40 @@
+# Single source of truth for build/test/lint invocations: CI runs these
+# exact targets, so a green `make ci` locally means a green workflow.
+
+GO ?= go
+
+.PHONY: all build test race lint vet fmt fmt-check bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-bearing packages (the deterministic
+# fan-out harness and the concurrent multicast simulator).
+race:
+	$(GO) test -race ./internal/sim/... ./internal/mcastsim/...
+
+vet:
+	$(GO) vet ./...
+
+# repolint enforces the determinism & concurrency invariants; see
+# internal/analysis and the "Static analysis & CI" section of README.md.
+lint: vet
+	$(GO) run ./cmd/repolint ./...
+
+fmt:
+	gofmt -l -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: fmt-check build test lint race

@@ -29,7 +29,9 @@ func capture(t *testing.T, fn func() error) (string, error) {
 		done <- string(out)
 	}()
 	ferr := fn()
-	w.Close()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
 	return <-done, ferr
 }
 

@@ -1,0 +1,87 @@
+// Command repolint runs the repo's static analyzers — the determinism
+// and concurrency checks in internal/analysis — over the given package
+// patterns and exits nonzero if any invariant is violated.
+//
+// Usage:
+//
+//	go run ./cmd/repolint ./...
+//	go run ./cmd/repolint ./internal/exp ./internal/sim/...
+//
+// With no arguments it analyzes ./... relative to the current
+// directory. Diagnostics are printed one per line as
+// "file:line:col: [analyzer] message", sorted by position, so output
+// is stable across runs. The -doc flag prints each analyzer's
+// documentation instead of analyzing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	doc := fs.Bool("doc", false, "print analyzer documentation and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *doc {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	modRoot, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	diags, err := lint.Run(loader, analysis.All(), dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "repolint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(wd, name); err == nil {
+			name = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "repolint: %d issue(s) found\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"../../internal/sim"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d on clean package; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected diagnostics:\n%s", out.String())
+	}
+}
+
+func TestSeededViolationsExitNonzero(t *testing.T) {
+	// The panicstyle fixture lives under repro/internal/..., so the real
+	// driver pipeline (loader, scoping, runner) flags it end to end.
+	var out, errOut strings.Builder
+	code := run([]string{"../../internal/analysis/panicstyle/testdata/src/a"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on seeded violations, want 1; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[panicstyle]") {
+		t.Errorf("missing panicstyle diagnostics in output:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "issue(s) found") {
+		t.Errorf("missing summary on stderr:\n%s", errOut.String())
+	}
+}
+
+func TestDocFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-doc"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d for -doc", code)
+	}
+	for _, name := range []string{"nodeterm", "maporder", "sharedcapture", "panicstyle", "errcheck"} {
+		if !strings.Contains(out.String(), name+":") {
+			t.Errorf("-doc output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package analysis bundles the repo's static checks: the determinism
+// and concurrency invariants that keep the paper reproduction's golden
+// tables byte-for-byte stable. cmd/repolint runs every analyzer
+// registered here; see the individual packages for what each enforces
+// and why.
+package analysis
+
+import (
+	"repro/internal/analysis/errcheck"
+	"repro/internal/analysis/lint"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nodeterm"
+	"repro/internal/analysis/panicstyle"
+	"repro/internal/analysis/sharedcapture"
+)
+
+// All returns every registered analyzer, in a fixed order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		errcheck.Analyzer,
+		maporder.Analyzer,
+		nodeterm.Analyzer,
+		panicstyle.Analyzer,
+		sharedcapture.Analyzer,
+	}
+}

@@ -1,0 +1,84 @@
+// Package errcheck is a lightweight unchecked-error analyzer for the
+// repo's command mains. A simulation CLI that drops an error keeps
+// emitting tables that look valid but come from a half-finished run —
+// worse than crashing. Statement-position calls (including defer and
+// go) whose result tuple ends in an error must consume it; writing
+// through fmt to a terminal stream or an in-memory buffer is exempt,
+// matching the repo's existing "best-effort stderr diagnostics" idiom.
+package errcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer is the errcheck-lite check.
+var Analyzer = &lint.Analyzer{
+	Name:      "errcheck",
+	Doc:       "flag statement calls in cmd/ mains whose returned error is silently dropped",
+	AppliesTo: lint.ScopePrefix("repro/cmd"),
+	Run:       run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil || !returnsError(pass, call) || exempt(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "unchecked error returned by %s", types.ExprString(call.Fun))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's last result is an error.
+func returnsError(pass *lint.Pass, call *ast.CallExpr) bool {
+	errType := types.Universe.Lookup("error").Type()
+	t := pass.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errType)
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// exempt reports whether the dropped error is conventionally ignorable:
+// fmt printing (stdout/stderr writes where the only recourse would be
+// printing another error) and writes to in-memory buffers that are
+// documented never to fail.
+func exempt(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if pkgID, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.ObjectOf(pkgID).(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+			name := sel.Sel.Name
+			return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+		}
+	}
+	if recv := pass.TypeOf(sel.X); recv != nil {
+		switch types.TypeString(recv, nil) {
+		case "*strings.Builder", "strings.Builder", "*bytes.Buffer", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package errcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/errcheck"
+	"repro/internal/analysis/linttest"
+)
+
+func TestErrcheck(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", errcheck.Analyzer)
+}

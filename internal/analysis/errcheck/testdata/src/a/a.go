@@ -1,0 +1,33 @@
+package a
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mightFail() error { return nil }
+
+func parse(s string) (int, error) { return len(s), nil }
+
+func cleanup() error { return nil }
+
+func run() {
+	mightFail()         // want `unchecked error returned by mightFail`
+	parse("x")          // want `unchecked error returned by parse`
+	defer cleanup()     // want `unchecked error returned by cleanup`
+	go mightFail()      // want `unchecked error returned by mightFail`
+	os.Remove("/tmp/x") // want `unchecked error returned by os.Remove`
+
+	fmt.Fprintln(os.Stderr, "best-effort diagnostics are exempt")
+	fmt.Println("as is stdout")
+	var sb strings.Builder
+	sb.WriteString("in-memory writes never fail")
+
+	if err := mightFail(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	_ = mightFail() // explicit discard is a visible decision
+	n, _ := parse("y")
+	_ = n
+}

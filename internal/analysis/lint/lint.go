@@ -1,0 +1,172 @@
+// Package lint is a small, dependency-free analysis framework modeled
+// on golang.org/x/tools/go/analysis. The container this repo builds in
+// has no module proxy access, so x/tools cannot be vendored; this
+// package provides the minimal subset the repo's analyzers need — a
+// loader that parses and type-checks module packages offline (stdlib
+// types come from the GOROOT source importer), an Analyzer/Pass pair,
+// and a deterministic runner.
+//
+// The API mirrors go/analysis closely enough that the analyzers in
+// internal/analysis/* could be ported to real analysis.Analyzer values
+// with mechanical changes only, should x/tools become available.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why.
+	Doc string
+
+	// AppliesTo, when non-nil, restricts which package import paths the
+	// runner applies this analyzer to. The linttest harness ignores it
+	// so fixtures exercise the check regardless of their synthetic path.
+	AppliesTo func(pkgPath string) bool
+
+	// Run performs the check over one package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass carries one (analyzer, package) unit of work, mirroring
+// analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// NewPass constructs a Pass over one loaded package, appending
+// findings to *diags. It is exported for the linttest harness; normal
+// use goes through Run.
+func NewPass(a *Analyzer, fset *token.FileSet, pkg *Package, diags *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    diags,
+	}
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by id (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Info.ObjectOf(id)
+}
+
+// Run applies every analyzer to every package loaded from dirs and
+// returns the findings sorted by position then analyzer name, so output
+// is byte-for-byte stable across runs — the same determinism contract
+// the analyzers themselves enforce.
+func Run(l *Loader, analyzers []*Analyzer, dirs []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkgs, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, a := range analyzers {
+				if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+					continue
+				}
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     l.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					diags:    &diags,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+				}
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// ScopePackages returns an AppliesTo predicate accepting exactly the
+// given import paths plus their external test packages (path suffix
+// ".test" as produced by the loader).
+func ScopePackages(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool {
+		if set[pkgPath] {
+			return true
+		}
+		const ext = ".test"
+		if len(pkgPath) > len(ext) && pkgPath[len(pkgPath)-len(ext):] == ext {
+			return set[pkgPath[:len(pkgPath)-len(ext)]]
+		}
+		return false
+	}
+}
+
+// ScopePrefix returns an AppliesTo predicate accepting import paths
+// equal to or nested under prefix.
+func ScopePrefix(prefix string) func(string) bool {
+	return func(pkgPath string) bool {
+		if pkgPath == prefix {
+			return true
+		}
+		return len(pkgPath) > len(prefix) && pkgPath[:len(prefix)+1] == prefix+"/"
+	}
+}

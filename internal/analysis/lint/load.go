@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked unit ready for analysis. Unlike the
+// cached import graph, analysis packages include in-package _test.go
+// files; external test files (package foo_test) are surfaced as a
+// second Package with path "<base>.test".
+type Package struct {
+	Path  string
+	Name  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module without any
+// network or export-data dependency: module-local imports are resolved
+// against the module tree, everything else through the GOROOT source
+// importer.
+type Loader struct {
+	Fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.Importer
+	imports map[string]*types.Package
+}
+
+// NewLoader builds a loader for the module rooted at modRoot (the
+// directory containing go.mod).
+func NewLoader(modRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		modRoot: abs,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		imports: make(map[string]*types.Package),
+	}, nil
+}
+
+// ModulePath returns the module's import path.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// ModuleRoot returns the absolute module root directory.
+func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// Import implements types.Importer. Module-local packages are loaded
+// from source without test files; all other paths fall through to the
+// stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if pkg, ok := l.imports[path]; ok {
+			return pkg, nil
+		}
+		dir := l.dirFor(path)
+		files, _, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, _, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		l.imports[path] = pkg
+		return pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir for analysis,
+// including in-package test files. If dir also holds an external test
+// package (package <name>_test), it is returned as a second Package.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.pathFor(abs)
+	files, extFiles, err := l.parseDirWithTests(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 && len(extFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var out []*Package
+	if len(files) > 0 {
+		tpkg, info, err := l.check(path, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{Path: path, Name: tpkg.Name(), Files: files, Types: tpkg, Info: info})
+	}
+	if len(extFiles) > 0 {
+		extPath := path + ".test"
+		tpkg, info, err := l.check(extPath, extFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{Path: extPath, Name: tpkg.Name(), Files: extFiles, Types: tpkg, Info: info})
+	}
+	return out, nil
+}
+
+// LoadFiles type-checks an ad-hoc set of already-parsed files as one
+// package under the given import path. Used by the linttest harness for
+// fixture packages that live outside the module's build graph.
+func (l *Loader) LoadFiles(path string, files []*ast.File) (*Package, error) {
+	tpkg, info, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Name: tpkg.Name(), Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Expand resolves package patterns relative to the current directory
+// into package directories, in sorted order. Supported forms: a plain
+// directory ("./internal/sim", "../../cmd/netsim") or a recursive
+// pattern ("./...", "./internal/..."). Directories named testdata, dot
+// directories, and directories without Go files are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := pat, false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root, recursive = rest, true
+			if root == "" {
+				root = "."
+			}
+		}
+		abs, err := filepath.Abs(root)
+		if err != nil {
+			return nil, err
+		}
+		if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: not a directory", pat)
+		}
+		if !recursive {
+			add(abs)
+			continue
+		}
+		err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if l.hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return filepath.Join(l.modRoot, filepath.FromSlash(rel))
+}
+
+func (l *Loader) pathFor(absDir string) string {
+	rel, err := filepath.Rel(l.modRoot, absDir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		// Outside the module: synthesize a stable path from the base name.
+		return "external/" + filepath.Base(absDir)
+	}
+	if rel == "." {
+		return l.modPath
+	}
+	return l.modPath + "/" + filepath.ToSlash(rel)
+}
+
+// parseDir parses the non-test Go files of dir, sorted by filename.
+func (l *Loader) parseDir(dir string) (files, extFiles []*ast.File, err error) {
+	return l.parse(dir, false)
+}
+
+// parseDirWithTests parses all Go files of dir, splitting external
+// test-package files (package <name>_test) into extFiles.
+func (l *Loader) parseDirWithTests(dir string) (files, extFiles []*ast.File, err error) {
+	return l.parse(dir, true)
+}
+
+func (l *Loader) parse(dir string, includeTests bool) (files, extFiles []*ast.File, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			extFiles = append(extFiles, f)
+		} else {
+			files = append(files, f)
+		}
+	}
+	return files, extFiles, nil
+}
+
+// check type-checks files as one package. Uses, Defs, Types, and
+// Selections are recorded; the first hard error aborts the load so
+// analyzers never run on partially-typed syntax.
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// FindModuleRoot walks up from dir looking for go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,149 @@
+// Package linttest is a fixture harness for internal/analysis/lint
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory of Go files (conventionally
+// testdata/src/<name>/ next to the analyzer). Lines that should
+// trigger a diagnostic carry a trailing comment of the form
+//
+//	// want "regexp"
+//
+// where the quoted Go string is a regular expression that must match
+// the diagnostic message reported on that line. The harness fails the
+// test for every unmatched expectation and every unexpected
+// diagnostic, so fixtures pin both positives and negatives.
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/lint"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads the fixture directory as a single package, applies the
+// analyzer, and checks its diagnostics against the fixture's want
+// comments. The fixture may import module packages (e.g.
+// repro/internal/sim); they are resolved against the enclosing module.
+func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
+	t.Helper()
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("linttest: getwd: %v", err)
+	}
+	modRoot, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	ents, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("linttest: reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("linttest: no Go files in %s", fixtureDir)
+	}
+
+	var files []*ast.File
+	var expects []*expectation
+	for _, n := range names {
+		full := filepath.Join(fixtureDir, n)
+		f, err := parser.ParseFile(loader.Fset, full, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("linttest: parsing %s: %v", full, err)
+		}
+		files = append(files, f)
+		expects = append(expects, parseWants(t, loader, f, n)...)
+	}
+
+	pkg, err := loader.LoadFiles("fixture/"+filepath.Base(fixtureDir), files)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	var diags []lint.Diagnostic
+	pass := lint.NewPass(a, loader.Fset, pkg, &diags)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+
+	for i := range diags {
+		d := &diags[i]
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != filepath.Base(d.Pos.Filename) || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: no diagnostic matching %s", e.file, e.line, e.raw)
+		}
+	}
+}
+
+func parseWants(t *testing.T, loader *lint.Loader, f *ast.File, name string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			lit := strings.TrimSpace(m[1])
+			pattern, err := strconv.Unquote(lit)
+			if err != nil {
+				t.Fatalf("%s:%d: malformed want comment %q: %v", name, loader.Fset.Position(c.Pos()).Line, lit, err)
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", name, loader.Fset.Position(c.Pos()).Line, pattern, err)
+			}
+			out = append(out, &expectation{
+				file: name,
+				line: loader.Fset.Position(c.Pos()).Line,
+				re:   re,
+				raw:  lit,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+// Package maporder flags range statements over maps whose bodies have
+// order-dependent effects: appending to slices, emitting output, or
+// accumulating floating-point values.
+//
+// Go randomizes map iteration order per run, so any of those effects
+// makes output differ between identical invocations — exactly the
+// drift the golden experiment tables must never show. Floating-point
+// accumulation is included because float addition is not associative:
+// summing in map order changes low bits even when the key set is
+// identical.
+//
+// The one sanctioned pattern is collect-then-sort: a body that only
+// appends the range key to a slice is accepted when the enclosing
+// function later passes that slice to sort or slices, because the
+// subsequent sort erases the iteration order.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration with order-dependent effects (appends, output, " +
+		"float accumulation) unless keys are collected and sorted",
+	AppliesTo: lint.ScopePackages(
+		"repro/internal/sim",
+		"repro/internal/mcastsim",
+		"repro/internal/core",
+		"repro/internal/plan",
+		"repro/internal/exp",
+		"repro/internal/contention",
+	),
+	Run: run,
+}
+
+// writerNames are method/function names whose call inside a map range
+// emits output in iteration order.
+var writerNames = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+type finding struct {
+	pos  token.Pos
+	what string
+	// keyCollect marks the sanctioned `s = append(s, k)` shape; slice is
+	// the destination object, checked for a later sort.
+	keyCollect bool
+	slice      types.Object
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingFuncBody(stack))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFuncBody returns the body of the innermost function on the
+// node stack, excluding the range statement itself.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *lint.Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	keyObj := rangeVarObject(pass, rs.Key)
+	var findings []finding
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if fd, ok := classifyAppend(pass, st, keyObj); ok {
+				findings = append(findings, fd)
+				return true
+			}
+			if isFloatAccumulation(pass, st) {
+				findings = append(findings, finding{pos: st.Pos(), what: "accumulates floating-point values (addition order changes low bits)"})
+			}
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && writerNames[sel.Sel.Name] {
+				findings = append(findings, finding{pos: st.Pos(), what: "writes output in iteration order"})
+			}
+		}
+		return true
+	})
+
+	for _, fd := range findings {
+		if fd.keyCollect && fd.slice != nil && sortedLater(pass, funcBody, rs.End(), fd.slice) {
+			continue
+		}
+		pass.Reportf(fd.pos, "map iteration %s: go randomizes map order per run; collect keys and sort them first", fd.what)
+	}
+}
+
+// rangeVarObject resolves the object bound by a range clause variable.
+func rangeVarObject(pass *lint.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+// classifyAppend reports whether st is `dst = append(dst, ...)`, and
+// whether it is the sanctioned key-collect shape `dst = append(dst, k)`
+// with k the range key.
+func classifyAppend(pass *lint.Pass, st *ast.AssignStmt, keyObj types.Object) (finding, bool) {
+	if (st.Tok != token.ASSIGN && st.Tok != token.DEFINE) || len(st.Rhs) != 1 {
+		return finding{}, false
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return finding{}, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return finding{}, false
+	}
+	if _, isBuiltin := pass.ObjectOf(fn).(*types.Builtin); !isBuiltin {
+		return finding{}, false
+	}
+	fd := finding{pos: st.Pos(), what: "appends to a slice"}
+	if len(st.Lhs) == 1 && len(call.Args) == 2 && keyObj != nil {
+		dst, dok := st.Lhs[0].(*ast.Ident)
+		arg, aok := call.Args[1].(*ast.Ident)
+		if dok && aok && pass.ObjectOf(arg) == keyObj {
+			fd.keyCollect = true
+			fd.slice = pass.ObjectOf(dst)
+		}
+	}
+	return fd, true
+}
+
+// isFloatAccumulation reports whether st compounds a float variable
+// (+=, -=, *=, /=).
+func isFloatAccumulation(pass *lint.Pass, st *ast.AssignStmt) bool {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	if len(st.Lhs) != 1 {
+		return false
+	}
+	t := pass.TypeOf(st.Lhs[0])
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// sortedLater reports whether funcBody contains, after pos, a call into
+// package sort or slices that mentions the given slice object.
+func sortedLater(pass *lint.Pass, funcBody *ast.BlockStmt, pos token.Pos, slice types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.ObjectOf(pkgID).(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.ObjectOf(id) == slice {
+					mentioned = true
+					return false
+				}
+				return true
+			})
+			if mentioned {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

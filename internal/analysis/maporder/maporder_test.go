@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", maporder.Analyzer)
+}

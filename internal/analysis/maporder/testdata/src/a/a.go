@@ -1,0 +1,79 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want `appends to a slice`
+	}
+	return out
+}
+
+func badOutput(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `writes output in iteration order`
+	}
+}
+
+func badFloat(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `accumulates floating-point values`
+	}
+	return sum
+}
+
+func badCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appends to a slice`
+	}
+	return keys
+}
+
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodCollectSliceSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func goodSliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+func goodInvert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k // map writes commute when keys are distinct
+	}
+	return inv
+}
+
+func goodIntCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+// Package nodeterm forbids ambient nondeterminism — math/rand,
+// time.Now, and global rand seeding — in the simulation hot paths.
+//
+// The reproduction's golden tables are validated byte-for-byte, which
+// only holds if every random draw flows from an explicit seed through
+// sim.RNG (SplitMix64, stable across Go releases) and no timestamp
+// leaks into results. math/rand's stream may change between Go
+// versions, and time.Now is nondeterministic by construction, so both
+// are banned from the packages that produce or consume experiment
+// numbers.
+package nodeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer is the nodeterm check.
+var Analyzer = &lint.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid math/rand, time.Now, and rand.Seed in simulation packages; " +
+		"sim.RNG is the only sanctioned randomness source",
+	AppliesTo: lint.ScopePackages(
+		"repro/internal/sim",
+		"repro/internal/mcastsim",
+		"repro/internal/core",
+		"repro/internal/plan",
+		"repro/internal/exp",
+		"repro/internal/contention",
+	),
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden in simulation packages: use sim.RNG with an explicit seed", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.ObjectOf(id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if sel.Sel.Name == "Now" {
+					pass.Reportf(call.Pos(), "time.Now is nondeterministic: derive timing from simulated cycles, not wall clock")
+				}
+			case "math/rand", "math/rand/v2":
+				if sel.Sel.Name == "Seed" {
+					pass.Reportf(call.Pos(), "rand.Seed mutates the shared global generator: use sim.NewRNG(seed) instead")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", nodeterm.Analyzer)
+}
+
+func TestScope(t *testing.T) {
+	applies := nodeterm.Analyzer.AppliesTo
+	for _, p := range []string{
+		"repro/internal/sim", "repro/internal/exp", "repro/internal/exp.test",
+	} {
+		if !applies(p) {
+			t.Errorf("nodeterm should apply to %s", p)
+		}
+	}
+	for _, p := range []string{
+		"repro/internal/mesh", "repro/cmd/netsim", "repro/internal/simx",
+	} {
+		if applies(p) {
+			t.Errorf("nodeterm should not apply to %s", p)
+		}
+	}
+}

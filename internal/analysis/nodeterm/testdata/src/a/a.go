@@ -1,0 +1,20 @@
+package a
+
+import (
+	"math/rand" // want `import of math/rand is forbidden in simulation packages`
+	"time"
+
+	"repro/internal/sim"
+)
+
+func bad() int64 {
+	rand.Seed(42)   // want `rand.Seed mutates the shared global generator`
+	t := time.Now() // want `time.Now is nondeterministic`
+	return t.UnixNano() + int64(rand.Intn(3))
+}
+
+func good(seed uint64) float64 {
+	r := sim.NewRNG(seed)
+	d := 250 * time.Millisecond // durations are constants, not clock reads: fine
+	return r.Float64() * d.Seconds()
+}

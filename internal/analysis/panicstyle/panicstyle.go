@@ -1,0 +1,89 @@
+// Package panicstyle enforces the repo's panic-message convention:
+// every string panic in an internal package reads "pkg: message", as
+// established by internal/mesh and internal/torus ("mesh: routing from
+// an ejection channel"). The prefix makes a panic trace attributable
+// without symbolizing the stack, which matters when a long experiment
+// sweep dies hours in.
+//
+// Only constant-string panics (literals and fmt.Sprintf-style calls
+// with a literal format) are checked; panics that rethrow an error
+// value or other dynamic argument are left alone.
+package panicstyle
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer is the panicstyle check.
+var Analyzer = &lint.Analyzer{
+	Name:      "panicstyle",
+	Doc:       `enforce the "pkg: message" panic-message convention in internal packages`,
+	AppliesTo: lint.ScopePrefix("repro/internal"),
+	Run:       run,
+}
+
+// formatters are fmt functions whose first literal argument carries the
+// eventual panic message.
+var formatters = map[string]bool{"Sprintf": true, "Sprint": true, "Errorf": true}
+
+func run(pass *lint.Pass) error {
+	pkgName := strings.TrimSuffix(pass.Pkg.Name(), "_test")
+	want := pkgName + ": "
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+				return true
+			}
+			msg, ok := literalMessage(pass, call.Args[0])
+			if ok && !strings.HasPrefix(msg, want) {
+				pass.Reportf(call.Args[0].Pos(), "panic message %q does not start with %q (repo convention: \"pkg: message\")", msg, want)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// literalMessage extracts the constant message of a panic argument: a
+// string literal, or the literal format string of an fmt call.
+func literalMessage(pass *lint.Pass, arg ast.Expr) (string, bool) {
+	switch v := ast.Unparen(arg).(type) {
+	case *ast.BasicLit:
+		if v.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(v.Value)
+		return s, err == nil
+	case *ast.CallExpr:
+		sel, ok := v.Fun.(*ast.SelectorExpr)
+		if !ok || !formatters[sel.Sel.Name] || len(v.Args) == 0 {
+			return "", false
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		if pn, ok := pass.ObjectOf(pkgID).(*types.PkgName); !ok || pn.Imported().Path() != "fmt" {
+			return "", false
+		}
+		return literalMessage(pass, v.Args[0])
+	}
+	return "", false
+}

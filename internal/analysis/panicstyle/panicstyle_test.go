@@ -1,0 +1,22 @@
+package panicstyle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/panicstyle"
+)
+
+func TestPanicstyle(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", panicstyle.Analyzer)
+}
+
+func TestScope(t *testing.T) {
+	applies := panicstyle.Analyzer.AppliesTo
+	if !applies("repro/internal/mesh") || !applies("repro/internal/analysis/lint") {
+		t.Error("panicstyle should cover internal packages")
+	}
+	if applies("repro/cmd/netsim") || applies("repro/internalx") {
+		t.Error("panicstyle should not cover non-internal packages")
+	}
+}

@@ -1,0 +1,31 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+func checks(k int) {
+	if k < 0 {
+		panic("a: k must be non-negative") // conforming literal
+	}
+	if k == 1 {
+		panic(fmt.Sprintf("a: unsupported k=%d", k)) // conforming Sprintf
+	}
+	if k == 2 {
+		panic("negative table size") // want `panic message "negative table size" does not start with "a: "`
+	}
+	if k == 3 {
+		panic(fmt.Sprintf("bad k %d", k)) // want `panic message "bad k %d" does not start with "a: "`
+	}
+	if k == 4 {
+		panic(fmt.Errorf("wrong: %d", k)) // want `panic message "wrong: %d" does not start with "a: "`
+	}
+	if k == 5 {
+		panic(errors.New("a: dynamic errors are not style-checked"))
+	}
+	if k == 6 {
+		err := errors.New("boom")
+		panic(err) // rethrown values are exempt
+	}
+}

@@ -1,0 +1,12 @@
+package sharedcapture_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/sharedcapture"
+)
+
+func TestSharedcapture(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", sharedcapture.Analyzer)
+}

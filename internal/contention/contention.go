@@ -76,6 +76,10 @@ func (k *Checker) CheckSchedule(s *plan.Schedule, bytes int) ([]Conflict, error)
 		e          plan.Entry
 		start, end int64
 		channels   map[wormhole.ChannelID]struct{}
+		// path keeps the interior channels in route order so the conflict
+		// reported for a pair is always the first shared hop, independent
+		// of map iteration order.
+		path []wormhole.ChannelID
 	}
 	tSend := k.Software.Send.At(bytes)
 	tRecv := k.Software.Recv.At(bytes)
@@ -101,6 +105,7 @@ func (k *Checker) CheckSchedule(s *plan.Schedule, bytes int) ([]Conflict, error)
 			start:    e.Issue + tSend - k.Slack,
 			end:      e.Arrive - tRecv + k.Slack,
 			channels: set,
+			path:     path[1 : len(path)-1],
 		})
 	}
 
@@ -114,7 +119,7 @@ func (k *Checker) CheckSchedule(s *plan.Schedule, bytes int) ([]Conflict, error)
 			if a.end <= b.start || b.end <= a.start {
 				continue // disjoint in time
 			}
-			for c := range b.channels {
+			for _, c := range b.path {
 				if _, shared := a.channels[c]; shared {
 					out = append(out, Conflict{A: a.e, B: b.e, Channel: c})
 					if k.Limit > 0 && len(out) >= k.Limit {
