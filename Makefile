@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check bench ci
+.PHONY: all build test race lint vet fmt fmt-check bench bench-smoke ci
 
 all: build
 
@@ -34,7 +34,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# One pass over every benchmark, recorded as JSON (see the README's
+# benchmarking section). BENCH_kernel.json in the repo root is the
+# committed before/after record for the kernel rewrite.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=1 -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_kernel.json
 
-ci: fmt-check build test lint race
+# Fast CI guard: the kernel microbenchmarks must run and parse, so the
+# bench suite and the benchjson pipeline can never bit-rot.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=BenchmarkStepKernel -benchtime=1x -count=1 -benchmem . | $(GO) run ./cmd/benchjson -o /dev/null
+
+ci: fmt-check build test lint race bench-smoke

@@ -278,6 +278,82 @@ func BenchmarkMulticastOptMesh(b *testing.B) {
 	}
 }
 
+// stepKernelFunnel drives the contention-heavy kernel workload: every
+// other node sends 1 KB to node 0 simultaneously, so the one-port
+// ejection serializes 255 worms and almost the whole fabric sits in
+// blocked/inject-wait state for tens of thousands of cycles — the regime
+// the stall-aware kernel's cached scheduling targets. The network (and
+// with recycling, its worm pool) is reused across iterations, so
+// steady-state allocs/op measures the Send+Step path itself.
+func stepKernelFunnel(b *testing.B, k repro.Kernel, recycle bool) {
+	m := repro.NewMesh2D(16, 16)
+	n := repro.NewNetwork(m, repro.DefaultFabricConfig())
+	n.SetKernel(k)
+	n.SetRecycling(recycle)
+	round := func() {
+		for src := 1; src < m.NumNodes(); src++ {
+			n.Send(repro.NodeID(src), 0, 1024, nil, nil)
+		}
+		if _, err := n.RunUntilIdle(1 << 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Prime the worm pool twice: the first round fills the free list, the
+	// second settles the pooled slices' capacities under the recycled
+	// worm-to-route mapping, so allocs/op reflects steady state.
+	round()
+	round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	hops := n.Stats().FlitHops * int64(b.N) / int64(b.N+2) // exclude the priming rounds
+	b.ReportMetric(float64(hops)/b.Elapsed().Seconds(), "flit-hops/s")
+}
+
+// stepKernelStall is the cycle-skipping showcase: a slow router
+// (RouterDelay 256) makes every hop a long full-network stall once the
+// header's upstream buffers fill, so nearly all simulated time is spent
+// in cycles where nothing can move. The stall-aware kernel jumps those
+// stretches in O(1); the reference kernel walks them cycle by cycle.
+func stepKernelStall(b *testing.B, k repro.Kernel) {
+	m := repro.NewMesh2D(16, 16)
+	cfg := repro.DefaultFabricConfig()
+	cfg.RouterDelay = 256
+	n := repro.NewNetwork(m, cfg)
+	n.SetKernel(k)
+	n.SetRecycling(true)
+	round := func() {
+		for i := 0; i < 16; i++ {
+			n.Send(repro.NodeID(i), repro.NodeID(m.NumNodes()-1-i), 256, nil, nil)
+		}
+		if _, err := n.RunUntilIdle(1 << 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+	round()
+	round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	cycles := n.Stats().Cycles * int64(b.N) / int64(b.N+2)
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkStepKernel compares the two scheduling kernels on a
+// contention-heavy funnel and a stall-heavy slow-router workload; the
+// fast/reference ns/op ratios are the headline numbers in
+// BENCH_kernel.json.
+func BenchmarkStepKernel(b *testing.B) {
+	b.Run("funnel/fast", func(b *testing.B) { stepKernelFunnel(b, repro.KernelFast, true) })
+	b.Run("funnel/reference", func(b *testing.B) { stepKernelFunnel(b, repro.KernelReference, false) })
+	b.Run("stall/fast", func(b *testing.B) { stepKernelStall(b, repro.KernelFast) })
+	b.Run("stall/reference", func(b *testing.B) { stepKernelStall(b, repro.KernelReference) })
+}
+
 // BenchmarkPlanSends measures the planner's per-node work.
 func BenchmarkPlanSends(b *testing.B) {
 	tab := repro.NewOptTable(1024, 20, 55)

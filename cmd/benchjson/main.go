@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// small JSON document so benchmark numbers can be committed and diffed
+// (BENCH_kernel.json). With -o, the input is echoed to stdout unchanged
+// (without -o, the JSON itself goes to stdout and the echo to stderr), so
+// it composes as a pipe without hiding the bench log:
+//
+//	go test -run='^$' -bench=. -benchtime=1x . | go run ./cmd/benchjson -o BENCH_kernel.json
+//
+// With -baseline FILE, a previously saved bench log is parsed the same
+// way and embedded under "baseline", recording a before/after pair in one
+// artifact. benchjson exits non-zero if the input contains no benchmark
+// lines or reports a test failure, so a bench smoke step in CI fails
+// loudly instead of writing an empty file.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line: its iteration count plus every
+// reported metric (ns/op, B/op, allocs/op, and any ReportMetric units).
+type result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// report is the emitted document.
+type report struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []result          `json:"benchmarks"`
+	Baseline   []result          `json:"baseline,omitempty"`
+}
+
+// parse consumes a `go test -bench` log, returning parsed benchmark
+// lines, context headers (goos/goarch/pkg/cpu), and whether a FAIL line
+// was seen. When echo is non-nil every input line is copied to it.
+func parse(r io.Reader, echo io.Writer) ([]result, map[string]string, bool, error) {
+	var results []result
+	ctx := make(map[string]string)
+	failed := false
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		if strings.HasPrefix(line, "FAIL") {
+			failed = true
+		}
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				ctx[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := result{Name: trimProcSuffix(fields[0]), Iters: iters, Metrics: make(map[string]float64)}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		results = append(results, res)
+	}
+	return results, ctx, failed, sc.Err()
+}
+
+// trimProcSuffix drops the trailing "-N" GOMAXPROCS marker from a
+// benchmark name, keeping names stable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON path (default: JSON to stdout)")
+	baseline := flag.String("baseline", "", "optional saved bench log to embed under \"baseline\"")
+	flag.Parse()
+
+	echo := io.Writer(os.Stdout)
+	if *out == "" {
+		echo = os.Stderr
+	}
+	results, ctx, failed, err := parse(os.Stdin, echo)
+	if err != nil {
+		fatal(err)
+	}
+	if failed {
+		fatal(fmt.Errorf("input reports FAIL"))
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input"))
+	}
+	rep := report{Context: ctx, Benchmarks: results}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, _, _, err := parse(f, nil)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		rep.Baseline = base
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}

@@ -127,7 +127,32 @@ func (l *Loader) LoadDir(dir string) ([]*Package, error) {
 	}
 	if len(extFiles) > 0 {
 		extPath := path + ".test"
-		tpkg, info, err := l.check(extPath, extFiles)
+		// The external test package must see the base package as the test
+		// binary compiles it — WITH in-package test files — or helpers
+		// exported via an export_test.go would not resolve. The main
+		// import cache holds the test-free variant, and mixing the two
+		// identities in one graph would break type checking, so the
+		// check runs in a sub-loader whose cache substitutes the
+		// test-inclusive package and drops every cached dependent of it
+		// (those re-resolve lazily against the substitute); everything
+		// else — including the base package's own dependencies — is
+		// inherited so type identities stay aligned.
+		sub := &Loader{
+			Fset:    l.Fset,
+			modRoot: l.modRoot,
+			modPath: l.modPath,
+			std:     l.std,
+			imports: make(map[string]*types.Package),
+		}
+		for p, pkg := range l.imports {
+			if p != path && !dependsOn(pkg, path) {
+				sub.imports[p] = pkg
+			}
+		}
+		if len(out) > 0 {
+			sub.imports[path] = out[0].Types
+		}
+		tpkg, info, err := sub.check(extPath, extFiles)
 		if err != nil {
 			return nil, err
 		}
@@ -293,6 +318,26 @@ func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.I
 		return nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
 	}
 	return pkg, info, nil
+}
+
+// dependsOn reports whether pkg transitively imports the package with
+// the given import path.
+func dependsOn(pkg *types.Package, path string) bool {
+	seen := make(map[*types.Package]bool)
+	var walk func(p *types.Package) bool
+	walk = func(p *types.Package) bool {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path || walk(imp) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(pkg)
 }
 
 // FindModuleRoot walks up from dir looking for go.mod.

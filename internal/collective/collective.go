@@ -217,7 +217,17 @@ func (d *driver) drain() error {
 			break
 		}
 		if d.net.Active() > 0 {
-			d.net.Step()
+			// Fast-forward stalls, but never past the next software event
+			// or the deadline check (kept in the future — AdvanceTo may
+			// have leapt past a tiny deadline already).
+			limit := deadline + 1
+			if limit <= d.net.Now() {
+				limit = d.net.Now() + 1
+			}
+			if d.events.Len() > 0 && d.events.NextTime() < limit {
+				limit = d.events.NextTime()
+			}
+			d.net.StepUntil(limit)
 			if d.net.Now() > deadline {
 				return fmt.Errorf("collective: broadcast not complete after %d cycles", deadline-d.t0)
 			}

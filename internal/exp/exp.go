@@ -42,6 +42,15 @@ type Platform struct {
 	Less func(a, b int) bool
 }
 
+// newNet builds a sweep fabric with worm recycling enabled: the harness
+// attaches no observers and reads results only through mcastsim.Result,
+// so no *Worm outlives its arrival callback and pooling is safe.
+func newNet(topo wormhole.Topology, cfg wormhole.Config) *wormhole.Network {
+	n := wormhole.New(topo, cfg)
+	n.SetRecycling(true)
+	return n
+}
+
 // MeshPlatform builds a W×H wormhole mesh with XY routing, the paper's
 // first evaluation fabric (16×16 in Section 5).
 func MeshPlatform(w, h int, cfg wormhole.Config) Platform {
@@ -49,7 +58,7 @@ func MeshPlatform(w, h int, cfg wormhole.Config) Platform {
 	return Platform{
 		Name:   fmt.Sprintf("%dx%d mesh", w, h),
 		Nodes:  m.NumNodes(),
-		NewNet: func() *wormhole.Network { return wormhole.New(m, cfg) },
+		NewNet: func() *wormhole.Network { return newNet(m, cfg) },
 		Less:   m.DimOrderLess,
 	}
 }
@@ -61,7 +70,7 @@ func BMINPlatform(nodes int, policy bmin.AscentPolicy, cfg wormhole.Config) Plat
 	return Platform{
 		Name:   fmt.Sprintf("%d-node BMIN (%s ascent)", nodes, policy),
 		Nodes:  nodes,
-		NewNet: func() *wormhole.Network { return wormhole.New(b, cfg) },
+		NewNet: func() *wormhole.Network { return newNet(b, cfg) },
 		Less:   b.LexLess,
 	}
 }
@@ -74,7 +83,7 @@ func TorusPlatform(w, h int, cfg wormhole.Config) Platform {
 	return Platform{
 		Name:   fmt.Sprintf("%dx%d torus", w, h),
 		Nodes:  tr.NumNodes(),
-		NewNet: func() *wormhole.Network { return wormhole.New(tr, cfg) },
+		NewNet: func() *wormhole.Network { return newNet(tr, cfg) },
 		Less:   tr.DimOrderLess,
 	}
 }
@@ -87,7 +96,7 @@ func HypercubePlatform(dim int, cfg wormhole.Config) Platform {
 	return Platform{
 		Name:   fmt.Sprintf("%d-node hypercube", h.NumNodes()),
 		Nodes:  h.NumNodes(),
-		NewNet: func() *wormhole.Network { return wormhole.New(h, cfg) },
+		NewNet: func() *wormhole.Network { return newNet(h, cfg) },
 		Less:   h.DimOrderLess,
 	}
 }
@@ -100,7 +109,7 @@ func ButterflyPlatform(nodes int, cfg wormhole.Config) Platform {
 	return Platform{
 		Name:   fmt.Sprintf("%d-node butterfly", nodes),
 		Nodes:  nodes,
-		NewNet: func() *wormhole.Network { return wormhole.New(b, cfg) },
+		NewNet: func() *wormhole.Network { return newNet(b, cfg) },
 		Less:   b.LexLess,
 	}
 }

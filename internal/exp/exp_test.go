@@ -274,6 +274,38 @@ func TestSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerInvariance: the sim.ForEach fan-out must not affect
+// results — a sweep rendered with one worker is byte-identical to the
+// same sweep with several, both on the default stall-aware kernel (every
+// sweep fabric also exercises worm recycling via newNet) and on the
+// reference kernel, so worker count can never leak into tables.
+func TestSweepWorkerInvariance(t *testing.T) {
+	run := func(workers int, k wormhole.Kernel) string {
+		p := MeshPlatform(8, 8, wormhole.DefaultConfig())
+		base := p.NewNet
+		p.NewNet = func() *wormhole.Network {
+			n := base()
+			n.SetKernel(k)
+			return n
+		}
+		s := DefaultSuite(p)
+		s.Trials = 4
+		s.Workers = workers
+		tab, err := s.SweepSizes("d", 12, []int{256, 4096}, MeshAlgorithms())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.Format()
+	}
+	fast1 := run(1, wormhole.KernelFast)
+	if fast4 := run(4, wormhole.KernelFast); fast4 != fast1 {
+		t.Fatalf("fast-kernel sweep depends on worker count:\n1 worker:\n%s\n4 workers:\n%s", fast1, fast4)
+	}
+	if ref4 := run(4, wormhole.KernelReference); ref4 != fast1 {
+		t.Fatalf("reference-kernel sweep diverges from fast kernel:\nfast:\n%s\nreference:\n%s", fast1, ref4)
+	}
+}
+
 // TestDefaultAxes: the canonical x axes match the paper.
 func TestDefaultAxes(t *testing.T) {
 	sizes := DefaultSizes()

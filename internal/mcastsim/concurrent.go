@@ -126,7 +126,17 @@ func RunConcurrent(net *wormhole.Network, groups []Group, cfg Config) ([]GroupRe
 			break
 		}
 		if net.Active() > 0 {
-			net.Step()
+			// As in Run: fast-forward stalls, but never past the next
+			// software event or the deadline check (kept in the future —
+			// AdvanceTo may have leapt past a tiny deadline already).
+			limit := deadline + 1
+			if limit <= net.Now() {
+				limit = net.Now() + 1
+			}
+			if events.Len() > 0 && events.NextTime() < limit {
+				limit = events.NextTime()
+			}
+			net.StepUntil(limit)
 			if net.Now() > deadline {
 				return nil, fmt.Errorf("mcastsim: concurrent batch not complete after %d cycles", max)
 			}

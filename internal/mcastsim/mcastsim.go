@@ -135,7 +135,19 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 			break
 		}
 		if net.Active() > 0 {
-			net.Step()
+			// Let the kernel fast-forward stalled stretches, but never
+			// past the next software event (a pending send must inject at
+			// its exact cycle) or the deadline check. AdvanceTo may have
+			// legitimately leapt past a tiny deadline already, so keep the
+			// limit in the future; the check below still fires.
+			limit := deadline + 1
+			if limit <= net.Now() {
+				limit = net.Now() + 1
+			}
+			if r.events.Len() > 0 && r.events.NextTime() < limit {
+				limit = r.events.NextTime()
+			}
+			net.StepUntil(limit)
 			if net.Now() > deadline {
 				return Result{}, fmt.Errorf("mcastsim: multicast not complete after %d cycles (routing deadlock or misconfiguration)", max)
 			}

@@ -1,0 +1,6 @@
+package wormhole
+
+// ForceOwner fabricates (or, with nil, clears) channel ownership so tests
+// can exercise the Quiesced leaked-channel error path, which is
+// unreachable through the public API of a correct kernel.
+func (n *Network) ForceOwner(c ChannelID, w *Worm) { n.owner[c] = w }

@@ -1,0 +1,208 @@
+package wormhole_test
+
+// Unit coverage for the kernel-scheduling machinery: the Blocked blame
+// rule, the Quiesced error paths, the kernel/recycling guard rails, and
+// the steady-state allocation contract of the pooled free list.
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	. "repro/internal/wormhole"
+)
+
+// blameTopo is a hand-built 4-node fabric that pins the Blocked blame
+// rule. Channels 0–3 are injection, 4–7 ejection; channels 8 ("X") and 9
+// ("Y") both lead to node 3's router. Node 1 routes via X only, node 2
+// via Y only, and node 0 adaptively via [Y, X] — preferring Y — so a worm
+// from node 0 can find its preferred candidate held by a *younger* worm
+// while the alternative is held by an older one.
+type blameTopo struct{}
+
+func (blameTopo) NumNodes() int                    { return 4 }
+func (blameTopo) NumChannels() int                 { return 10 }
+func (blameTopo) InjectChannel(n NodeID) ChannelID { return ChannelID(n) }
+func (blameTopo) EjectChannel(n NodeID) ChannelID  { return ChannelID(4 + n) }
+func (blameTopo) DescribeChannel(c ChannelID) string {
+	return fmt.Sprintf("c%d", c)
+}
+
+func (blameTopo) Route(cur ChannelID, src, dst NodeID, buf []ChannelID) []ChannelID {
+	switch cur {
+	case 0:
+		return append(buf, 9, 8)
+	case 1:
+		return append(buf, 8)
+	case 2:
+		return append(buf, 9)
+	case 8, 9:
+		return append(buf, ChannelID(4+dst))
+	}
+	panic(fmt.Sprintf("blameTopo: unexpected Route from c%d", cur))
+}
+
+// TestBlockedBlameRule sends three worms to node 3: w0 (node 1) takes X,
+// w1 (node 2) takes Y, then w2 (node 0) finds both candidates owned —
+// its preference Y by the younger w1, the alternative X by the older w0.
+// Under oldest-first arbitration the oldest holder heads the blocking
+// chain, so every Blocked report for w2 must name X and w0 (the previous
+// rule reported the first preference's holder, i.e. Y and w1). Both
+// kernels must apply the same rule.
+func TestBlockedBlameRule(t *testing.T) {
+	for _, k := range []Kernel{KernelFast, KernelReference} {
+		t.Run(fmt.Sprintf("kernel%d", k), func(t *testing.T) {
+			n := New(blameTopo{}, DefaultConfig())
+			n.SetKernel(k)
+			log := &eventLog{}
+			n.SetObserver(log)
+			n.Send(1, 3, 400, nil, nil) // w0: acquires X, then the eject channel
+			n.Send(2, 3, 400, nil, nil) // w1: acquires Y, blocks on the eject channel
+			w2 := n.Send(0, 3, 40, nil, nil)
+			if _, err := n.RunUntilIdle(1 << 16); err != nil {
+				t.Fatal(err)
+			}
+			if w2.BlockedCycles == 0 {
+				t.Fatal("w2 never blocked; the scenario did not exercise multi-candidate blame")
+			}
+			// w2 blocks in two phases: first at its router with both
+			// candidates owned (the multi-candidate reports under test,
+			// naming X or Y), later on node 3's single-candidate eject
+			// channel while the pipeline drains (c=7, not at issue).
+			routerBlames := 0
+			for _, e := range log.events {
+				if !strings.Contains(e, "blk w=2") || strings.Contains(e, "c=7") {
+					continue
+				}
+				routerBlames++
+				if !strings.HasSuffix(e, "c=8 hold=0") {
+					t.Fatalf("w2 blame %q: want channel X (c=8) held by the oldest worm (w0)", e)
+				}
+			}
+			if routerBlames == 0 {
+				t.Fatal("no multi-candidate Blocked reports recorded for w2")
+			}
+		})
+	}
+}
+
+func TestQuiescedActiveWorm(t *testing.T) {
+	n := newMeshNet(4, 4, DefaultConfig())
+	n.Send(0, 5, 64, nil, nil)
+	err := n.Quiesced()
+	if err == nil || !strings.Contains(err.Error(), "worms still active") {
+		t.Fatalf("Quiesced with an in-flight worm: %v", err)
+	}
+	if _, err := n.RunUntilIdle(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Quiesced(); err != nil {
+		t.Fatalf("Quiesced after drain: %v", err)
+	}
+}
+
+func TestQuiescedLeakedChannel(t *testing.T) {
+	n := newMeshNet(4, 4, DefaultConfig())
+	ghost := &Worm{ID: 42}
+	n.ForceOwner(5, ghost)
+	err := n.Quiesced()
+	if err == nil || !strings.Contains(err.Error(), "owned by worm 42") {
+		t.Fatalf("Quiesced with a leaked channel: %v", err)
+	}
+	n.ForceOwner(5, nil)
+	if err := n.Quiesced(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetKernelActivePanics(t *testing.T) {
+	n := newMeshNet(4, 4, DefaultConfig())
+	n.Send(0, 5, 64, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetKernel with active worms did not panic")
+		}
+	}()
+	n.SetKernel(KernelReference)
+}
+
+func TestStepUntilPastLimitPanics(t *testing.T) {
+	n := newMeshNet(4, 4, DefaultConfig())
+	n.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StepUntil at/before now did not panic")
+		}
+	}()
+	n.StepUntil(n.Now())
+}
+
+// TestRunUntilIdleTimeoutMatchesReference pins that the fast kernel's
+// cycle-skipping reports a deadlock timeout at exactly the same cycle
+// count as stepping through the stall would: a worm parked behind a
+// never-released channel exhausts precisely maxCycles.
+func TestRunUntilIdleTimeoutMatchesReference(t *testing.T) {
+	run := func(k Kernel) (int64, int64, error) {
+		n := New(blameTopo{}, DefaultConfig())
+		n.SetKernel(k)
+		n.ForceOwner(9, &Worm{ID: 99}) // node 2's only route, held forever
+		w := n.Send(2, 3, 16, nil, nil)
+		stepped, err := n.RunUntilIdle(500)
+		return stepped, w.BlockedCycles, err
+	}
+	fs, fb, ferr := run(KernelFast)
+	rs, rb, rerr := run(KernelReference)
+	if ferr == nil || rerr == nil {
+		t.Fatalf("deadlocked run did not time out: fast=%v ref=%v", ferr, rerr)
+	}
+	if fs != rs || fb != rb {
+		t.Fatalf("timeout accounting diverges: fast stepped %d (blocked %d), reference %d (blocked %d)", fs, fb, rs, rb)
+	}
+}
+
+// TestRecyclingSteadyStateAllocs is the pooling contract: once the free
+// list is primed, a Send + drain round trip performs zero heap
+// allocations, and recycling does not perturb IDs or timings.
+func TestRecyclingSteadyStateAllocs(t *testing.T) {
+	n := newMeshNet(8, 8, DefaultConfig())
+	n.SetRecycling(true)
+	drain := func() {
+		if _, err := n.RunUntilIdle(1 << 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime the pool (first round allocates the worm and its slices).
+	n.Send(0, 63, 128, nil, nil)
+	drain()
+	allocs := testing.AllocsPerRun(50, func() {
+		n.Send(0, 63, 128, nil, nil)
+		drain()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Send+drain allocated %.1f objects/op, want 0", allocs)
+	}
+
+	// Same workload without recycling: identical IDs and timings. Worm
+	// fields are captured in the arrival callback, the last point the
+	// recycling contract allows reading them.
+	a, b := newMeshNet(8, 8, DefaultConfig()), newMeshNet(8, 8, DefaultConfig())
+	a.SetRecycling(true)
+	for round := 0; round < 3; round++ {
+		var got [2][]wormRecord
+		for i, net := range []*Network{a, b} {
+			rec := &got[i]
+			record := func(w *Worm, now int64) {
+				*rec = append(*rec, wormRecord{ID: w.ID, InjectedAt: w.InjectedAt, ArrivedAt: w.ArrivedAt})
+			}
+			net.Send(0, 63, 256, nil, record)
+			net.Send(7, 56, 256, nil, record)
+			if _, err := net.RunUntilIdle(1 << 16); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got[0]) != 2 || !reflect.DeepEqual(got[0], got[1]) {
+			t.Fatalf("round %d: recycling changed IDs or timings:\n with %+v\n sans %+v", round, got[0], got[1])
+		}
+	}
+}

@@ -62,13 +62,38 @@ type Observer interface {
 	Acquire(now int64, w *Worm, c ChannelID)
 	// Release fires when the worm's last flit leaves the channel.
 	Release(now int64, w *Worm, c ChannelID)
-	// Blocked fires each cycle a header wants a channel owned by
-	// another worm; holder is the current owner.
+	// Blocked fires each cycle a header wants a channel owned by another
+	// worm. When the topology offered several routing candidates (all
+	// owned, or the header would have advanced), the reported channel is
+	// the candidate held by the oldest worm — under oldest-first
+	// arbitration the oldest holder heads the blocking chain, so the
+	// report names the actual culprit rather than an arbitrary
+	// preference; ties on holder resolve to the earliest candidate in
+	// preference order. holder is that channel's current owner.
 	Blocked(now int64, w *Worm, c ChannelID, holder *Worm)
 	// Complete fires when the worm's tail is consumed at its
 	// destination.
 	Complete(now int64, w *Worm)
 }
+
+// Kernel selects the scheduling strategy of the simulator core.
+type Kernel int
+
+const (
+	// KernelFast is the default stall-aware kernel: worms that provably
+	// cannot move skip their per-cycle scan, blocked headers replay a
+	// cached routing decision instead of re-routing, and StepUntil jumps
+	// the clock over cycles in which nothing can happen. It is
+	// observably equivalent to KernelReference (identical Stats,
+	// per-worm timings and observer event streams), which the
+	// differential and fuzz suites in kernel_diff_test.go enforce.
+	KernelFast Kernel = iota
+	// KernelReference is the original straight-line kernel: one full
+	// pass over every worm per simulated cycle. It is kept as the
+	// oracle for differential testing and as the simplest statement of
+	// the simulator's semantics.
+	KernelReference
+)
 
 // Worm is one in-flight message.
 type Worm struct {
@@ -101,7 +126,26 @@ type Worm struct {
 	done          bool
 	onArrive      ArrivalFunc
 	createdAt     int64
+
+	// Fast-kernel scheduling state. asleep means no flit of this worm
+	// can move for buffer-occupancy reasons; since occupancy is local to
+	// the worm, the flag stays valid until the worm acquires a channel.
+	// waitState caches the header's outcome (blocked on an owned
+	// channel, or waiting for the injection port) and is valid while
+	// waitEpoch matches the network's ownership epoch — i.e. until any
+	// acquire or release anywhere could have changed the answer.
+	asleep    bool
+	waitState uint8
+	waitEpoch int64
+	blockCand ChannelID
+	blockHold *Worm
 }
+
+const (
+	waitNone uint8 = iota
+	waitBlocked
+	waitInject
+)
 
 // Flits returns the worm's total flit count.
 func (w *Worm) Flits() int { return w.flits }
@@ -159,7 +203,16 @@ type Network struct {
 	// Virtual-channel support (nil lg = every channel has its own link).
 	lg        LinkGrouper
 	linkStamp []int64 // cycle a link last carried a flit
-	rotation  int     // phase-A fairness rotation among worms
+	rotation  int64   // phase-A fairness rotation among worms
+
+	// Kernel scheduling state (see DESIGN.md §4, "kernel scheduling").
+	kernel   Kernel
+	epoch    int64 // bumped on every acquire/release; keys waitState caches
+	progress bool  // the last stepped cycle moved a flit or changed ownership
+
+	// Worm pooling (see SetRecycling).
+	recycle bool
+	free    []*Worm
 }
 
 // New creates a network over the given topology. It panics on an invalid
@@ -225,6 +278,29 @@ func (n *Network) Stats() Stats { return n.stats }
 // SetObserver installs (or, with nil, removes) a fabric event observer.
 func (n *Network) SetObserver(o Observer) { n.obs = o }
 
+// Kernel returns the kernel the network is running.
+func (n *Network) Kernel() Kernel { return n.kernel }
+
+// SetKernel selects the scheduling kernel. Both kernels are observably
+// equivalent; KernelReference exists as the differential-testing oracle.
+// The kernel may only be changed while the fabric is idle.
+func (n *Network) SetKernel(k Kernel) {
+	if len(n.worms) != 0 {
+		panic("wormhole: SetKernel with active worms")
+	}
+	n.kernel = k
+}
+
+// SetRecycling enables (or disables) pooling of Worm structs and their
+// path/passed slices: completed worms are pushed onto a free list after
+// their arrival callback and Complete event fire, and Send reuses them,
+// making steady-state Send+Step allocation-free. With recycling on,
+// neither the caller nor any observer may retain a *Worm (or its Path
+// slice) after Complete/ArrivalFunc return — the object will be reset
+// and reissued. Recycling never changes simulated behaviour: IDs,
+// timings and statistics are identical either way.
+func (n *Network) SetRecycling(on bool) { n.recycle = on }
+
 // AdvanceTo fast-forwards the clock when the fabric is idle, so software
 // latencies far larger than network activity do not cost simulation work.
 // It panics if worms are in flight or t is in the past.
@@ -238,6 +314,20 @@ func (n *Network) AdvanceTo(t int64) {
 	n.now = t
 }
 
+// alloc returns a zeroed worm, reusing a pooled one when available.
+func (n *Network) alloc() *Worm {
+	k := len(n.free) - 1
+	if k < 0 {
+		return &Worm{}
+	}
+	w := n.free[k]
+	n.free[k] = nil
+	n.free = n.free[:k]
+	path, passed := w.path[:0], w.passed[:0]
+	*w = Worm{path: path, passed: passed}
+	return w
+}
+
 // Send creates a worm from src to dst carrying bytes of payload. The worm
 // begins competing for src's injection channel on the next Step. onArrive
 // (optional) fires when the tail flit is consumed at dst. Sending to
@@ -249,33 +339,285 @@ func (n *Network) Send(src, dst NodeID, bytes int, tag any, onArrive ArrivalFunc
 	if int(src) < 0 || int(src) >= n.topo.NumNodes() || int(dst) < 0 || int(dst) >= n.topo.NumNodes() {
 		panic(fmt.Sprintf("wormhole: Send endpoints %d->%d out of range [0,%d)", src, dst, n.topo.NumNodes()))
 	}
-	w := &Worm{
-		ID:        n.nextID,
-		Src:       src,
-		Dst:       dst,
-		Bytes:     bytes,
-		Tag:       tag,
-		flits:     n.cfg.Flits(bytes),
-		onArrive:  onArrive,
-		createdAt: n.now,
-	}
+	w := n.alloc()
+	w.ID = n.nextID
+	w.Src, w.Dst = src, dst
+	w.Bytes = bytes
+	w.Tag = tag
+	w.flits = n.cfg.Flits(bytes)
+	w.onArrive = onArrive
+	w.createdAt = n.now
 	n.nextID++
 	n.worms = append(n.worms, w)
 	return w
 }
 
-// Step advances the simulation by one cycle: flits move downstream-first,
-// then headers attempt channel acquisition oldest-worm-first, then arrival
-// callbacks fire for worms completed this cycle.
+// Step advances the simulation by exactly one cycle: flits move
+// downstream-first, then headers attempt channel acquisition
+// oldest-worm-first, then arrival callbacks fire for worms completed this
+// cycle.
 func (n *Network) Step() {
+	if n.kernel == KernelReference {
+		n.stepReference()
+		return
+	}
+	n.stepFast()
+}
+
+// StepUntil advances the simulation by at least one cycle and at most to
+// limit (which must be in the future). It is observably equivalent to
+// calling Step repeatedly while Now() < limit, but may return early — the
+// caller is expected to loop — and, under KernelFast, when the stepped
+// cycle made no progress (no flit moved, no channel changed hands) it
+// jumps the clock directly to the cycle before the earliest pending
+// router decision, bulk-crediting Cycles, BlockedCycles and
+// InjectWaitCycles for the skipped stretch. Long software gaps and
+// blocked stretches therefore cost O(1) instead of O(cycles × worms).
+func (n *Network) StepUntil(limit int64) {
+	if limit <= n.now {
+		panic(fmt.Sprintf("wormhole: StepUntil(%d) not after now=%d", limit, n.now))
+	}
+	n.Step()
+	if n.kernel == KernelReference || n.progress {
+		return
+	}
+	// The cycle just stepped moved nothing and changed no ownership:
+	// every worm is frozen (blocked, inject-waiting, or pending a router
+	// decision) and the fabric state cannot change before the earliest
+	// headerReadyAt. Every cycle strictly before it is an identical
+	// stall, so the clock can jump there in one move.
+	target := limit
+	if e, ok := n.nextHeaderEvent(); ok && e-1 < limit {
+		target = e - 1
+	}
+	if target > n.now {
+		n.skipTo(target)
+	}
+}
+
+// nextHeaderEvent returns the earliest future cycle at which a pending
+// router decision completes (a header sitting at a frontier router whose
+// RouterDelay has not yet elapsed), if any.
+func (n *Network) nextHeaderEvent() (int64, bool) {
+	var min int64
+	found := false
+	for _, w := range n.worms {
+		if w.routed || len(w.path) == 0 {
+			continue
+		}
+		if w.entered(len(w.path)-1) == 0 || w.headerReadyAt <= n.now {
+			continue
+		}
+		if !found || w.headerReadyAt < min {
+			min, found = w.headerReadyAt, true
+		}
+	}
+	return min, found
+}
+
+// skipTo jumps the clock from a fully-stalled cycle to target, crediting
+// every skipped cycle exactly as the per-cycle kernel would have:
+// stats.Cycles and the fairness rotation advance, each blocked header
+// accrues BlockedCycles (and its per-cycle Blocked observer event), and
+// each inject-waiting worm accrues InjectWaitCycles. Callable only when
+// the preceding cycle made no progress, which guarantees every skipped
+// cycle is an identical stall.
+func (n *Network) skipTo(target int64) {
+	delta := target - n.now
+	n.stats.Cycles += delta
+	n.rotation += delta
+	if n.obs != nil {
+		// Replay the per-cycle Blocked events the reference kernel
+		// would have emitted, in its order: cycles ascending, worms in
+		// creation order within a cycle.
+		for c := n.now + 1; c <= target; c++ {
+			for _, w := range n.worms {
+				if w.waitState == waitBlocked && w.waitEpoch == n.epoch {
+					n.obs.Blocked(c, w, w.blockCand, w.blockHold)
+				}
+			}
+		}
+	}
+	for _, w := range n.worms {
+		if w.waitEpoch != n.epoch {
+			continue
+		}
+		switch w.waitState {
+		case waitBlocked:
+			w.BlockedCycles += delta
+		case waitInject:
+			w.InjectWaitCycles += delta
+		}
+	}
+	n.now = target
+}
+
+// stepFast is the stall-aware kernel: identical phase structure to
+// stepReference, but worms whose flits provably cannot move skip their
+// scan, and headers in a cached blocked/inject-wait state skip
+// re-routing. It also records whether the cycle made progress, which
+// StepUntil uses to decide whether the clock may jump.
+func (n *Network) stepFast() {
 	n.now++
 	n.stats.Cycles++
+	n.progress = false
 	// Phase A rotates its starting worm for fairness on shared physical
 	// links; without link sharing, worm order in this phase is
 	// immaterial (channels are owned exclusively and acquisition happens
 	// in phase B).
 	if k := len(n.worms); k > 0 {
-		start := n.rotation % k
+		start := int(n.rotation % int64(k))
+		n.rotation++
+		for i := 0; i < k; i++ {
+			w := n.worms[(start+i)%k]
+			if w.asleep {
+				continue
+			}
+			n.moveFlitsFast(w)
+		}
+	}
+	for _, w := range n.worms {
+		n.routeHeaderFast(w)
+	}
+	if len(n.completed) > 0 {
+		n.reap()
+	}
+}
+
+// moveFlitsFast is moveFlits plus scheduling bookkeeping: it marks the
+// worm asleep when no flit could move for buffer-occupancy reasons
+// (occupancy is worm-local, so the verdict holds until the worm acquires
+// a channel), and records fabric-wide progress. A move refused only by
+// physical-link sharing does not put the worm to sleep — the link may be
+// free next cycle.
+func (n *Network) moveFlitsFast(w *Worm) {
+	if w.done || len(w.path) == 0 {
+		return
+	}
+	moved, linkBusy := false, false
+	last := len(w.path) - 1
+	// Consumption at the destination interface (exits the fabric; no
+	// physical link consumed).
+	if w.routed && w.occ(last) > 0 {
+		moved = true
+		w.passed[last]++
+		n.stats.FlitHops++
+		if w.passed[last] == w.flits {
+			n.release(w, last)
+			w.done = true
+			w.ArrivedAt = n.now
+			n.completed = append(n.completed, w)
+		}
+	}
+	// Interior hops.
+	for i := last - 1; i >= 0; i-- {
+		if w.occ(i) > 0 && w.occ(i+1) < n.cfg.BufFlits {
+			if !n.linkFree(w.path[i+1]) {
+				linkBusy = true
+				continue
+			}
+			moved = true
+			w.passed[i]++
+			n.stats.FlitHops++
+			if w.entered(i+1) == 1 && i+1 == last && !w.routed {
+				// The header flit just reached the frontier router.
+				w.headerReadyAt = n.now + n.cfg.RouterDelay
+			}
+			if w.passed[i] == w.flits {
+				n.release(w, i)
+			}
+		}
+	}
+	// Injection from the source interface.
+	if w.injected < w.flits && w.occ(0) < n.cfg.BufFlits {
+		if n.linkFree(w.path[0]) {
+			moved = true
+			w.injected++
+			n.stats.FlitHops++
+			if w.injected == 1 {
+				w.InjectedAt = n.now
+				if last == 0 && !w.routed {
+					w.headerReadyAt = n.now + n.cfg.RouterDelay
+				}
+			}
+		} else {
+			linkBusy = true
+		}
+	}
+	if moved {
+		n.progress = true
+	} else {
+		w.asleep = !linkBusy
+	}
+}
+
+// routeHeaderFast is routeHeader with a cache: once a header is blocked
+// (or inject-waiting), the routing decision cannot change until some
+// channel changes hands, so the cached verdict — keyed on the network's
+// ownership epoch — is replayed at O(1) instead of re-running the
+// topology's routing function every cycle.
+func (n *Network) routeHeaderFast(w *Worm) {
+	if w.done || w.routed {
+		return
+	}
+	if len(w.path) == 0 {
+		if w.waitState == waitInject && w.waitEpoch == n.epoch {
+			w.InjectWaitCycles++
+			return
+		}
+		// Compete for the node's single injection channel.
+		c := n.inject[w.Src]
+		if n.owner[c] == nil {
+			n.acquire(w, c)
+		} else {
+			w.InjectWaitCycles++
+			w.waitState = waitInject
+			w.waitEpoch = n.epoch
+		}
+		return
+	}
+	last := len(w.path) - 1
+	if w.entered(last) == 0 || n.now < w.headerReadyAt {
+		return // header flit not yet at the frontier, or still routing
+	}
+	if w.waitState == waitBlocked && w.waitEpoch == n.epoch {
+		w.BlockedCycles++
+		if n.obs != nil {
+			n.obs.Blocked(n.now, w, w.blockCand, w.blockHold)
+		}
+		return
+	}
+	cands := n.topo.Route(w.path[last], w.Src, w.Dst, n.routeBuf[:0])
+	n.routeBuf = cands[:0]
+	for _, c := range cands {
+		if n.owner[c] == nil {
+			n.acquire(w, c)
+			return
+		}
+	}
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("wormhole: topology returned no route from %s for %d->%d",
+			n.topo.DescribeChannel(w.path[last]), w.Src, w.Dst))
+	}
+	w.BlockedCycles++
+	w.blockCand, w.blockHold = n.blame(cands)
+	w.waitState = waitBlocked
+	w.waitEpoch = n.epoch
+	if n.obs != nil {
+		n.obs.Blocked(n.now, w, w.blockCand, w.blockHold)
+	}
+}
+
+// stepReference advances the simulation by one cycle with the original
+// straight-line kernel: one full pass over all worms per cycle, no
+// caching, no cycle-skipping. Kept as the oracle the differential and
+// fuzz suites compare KernelFast against.
+func (n *Network) stepReference() {
+	n.now++
+	n.stats.Cycles++
+	n.progress = true
+	if k := len(n.worms); k > 0 {
+		start := int(n.rotation % int64(k))
 		n.rotation++
 		for i := 0; i < k; i++ {
 			n.moveFlits(n.worms[(start+i)%k])
@@ -369,8 +711,27 @@ func (n *Network) routeHeader(w *Worm) {
 	}
 	w.BlockedCycles++
 	if n.obs != nil {
-		n.obs.Blocked(n.now, w, cands[0], n.owner[cands[0]])
+		c, h := n.blame(cands)
+		n.obs.Blocked(n.now, w, c, h)
 	}
+}
+
+// blame picks the channel named in a Blocked report. All candidates are
+// owned; the report names the one held by the oldest worm, because under
+// oldest-first arbitration the oldest holder heads the blocking chain and
+// is the actual culprit — naming the first preference regardless of
+// holder (the previous rule) misattributed stalls on adaptive topologies
+// whose preferred candidate merely queued behind a younger worm. Ties on
+// holder resolve to the earliest candidate in preference order, keeping
+// the report deterministic.
+func (n *Network) blame(cands []ChannelID) (ChannelID, *Worm) {
+	c, h := cands[0], n.owner[cands[0]]
+	for _, cc := range cands[1:] {
+		if o := n.owner[cc]; o.ID < h.ID {
+			c, h = cc, o
+		}
+	}
+	return c, h
 }
 
 func (n *Network) acquire(w *Worm, c ChannelID) {
@@ -380,6 +741,12 @@ func (n *Network) acquire(w *Worm, c ChannelID) {
 	if c == n.eject[w.Dst] {
 		w.routed = true
 	}
+	// Ownership changed: every cached routing verdict is stale, and this
+	// worm has a new channel its header can move into.
+	n.epoch++
+	n.progress = true
+	w.asleep = false
+	w.waitState = waitNone
 	if n.obs != nil {
 		n.obs.Acquire(n.now, w, c)
 	}
@@ -391,13 +758,16 @@ func (n *Network) release(w *Worm, i int) {
 		panic(fmt.Sprintf("wormhole: releasing channel %s not owned by worm %d", n.topo.DescribeChannel(c), w.ID))
 	}
 	n.owner[c] = nil
+	n.epoch++
 	if n.obs != nil {
 		n.obs.Release(n.now, w, c)
 	}
 }
 
 // reap removes completed worms, preserving creation order of the rest,
-// then fires arrival callbacks in completion order.
+// then fires arrival callbacks in completion order. With recycling
+// enabled, each worm is pooled for reuse once its callback and Complete
+// event have fired.
 func (n *Network) reap() {
 	live := n.worms[:0]
 	for _, w := range n.worms {
@@ -408,7 +778,7 @@ func (n *Network) reap() {
 	n.worms = live
 	done := n.completed
 	n.completed = n.completed[:0]
-	for _, w := range done {
+	for di, w := range done {
 		n.stats.Worms++
 		n.stats.BlockedCycles += w.BlockedCycles
 		n.stats.InjectWaitCycles += w.InjectWaitCycles
@@ -417,6 +787,10 @@ func (n *Network) reap() {
 		}
 		if w.onArrive != nil {
 			w.onArrive(w, n.now)
+		}
+		if n.recycle {
+			done[di] = nil
+			n.free = append(n.free, w)
 		}
 	}
 }
@@ -430,7 +804,7 @@ func (n *Network) RunUntilIdle(maxCycles int64) (int64, error) {
 		if n.now-start >= maxCycles {
 			return n.now - start, fmt.Errorf("wormhole: network not idle after %d cycles (%d worms in flight)", maxCycles, len(n.worms))
 		}
-		n.Step()
+		n.StepUntil(start + maxCycles)
 	}
 	return n.now - start, nil
 }

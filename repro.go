@@ -170,6 +170,17 @@ type Butterfly = bfly.Butterfly
 // ready-made implementations).
 type Observer = wormhole.Observer
 
+// Kernel selects the simulator's scheduling strategy (see
+// Network.SetKernel).
+type Kernel = wormhole.Kernel
+
+// Simulator kernels: the stall-aware default and the straight-line
+// reference oracle it is differentially tested against.
+const (
+	KernelFast      = wormhole.KernelFast
+	KernelReference = wormhole.KernelReference
+)
+
 // NewMesh2D builds a W×H mesh topology.
 func NewMesh2D(w, h int) *Mesh { return mesh.New2D(w, h) }
 
