@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check bench bench-smoke ci
+.PHONY: all build test race lint vet fmt fmt-check bench bench-smoke fault-smoke ci
 
 all: build
 
@@ -14,9 +14,10 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-bearing packages (the deterministic
-# fan-out harness and the concurrent multicast simulator).
+# fan-out harness, the concurrent multicast simulator, and the fault
+# plans shared read-only across sweep workers).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mcastsim/...
+	$(GO) test -race ./internal/sim/... ./internal/mcastsim/... ./internal/fault/...
 
 vet:
 	$(GO) vet ./...
@@ -45,4 +46,10 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkStepKernel -benchtime=1x -count=1 -benchmem . | $(GO) run ./cmd/benchjson -o /dev/null
 
-ci: fmt-check build test lint race bench-smoke
+# End-to-end fault-injection smoke: generate the F1 degradation table at
+# low trial count, exercising fault plans, degraded routing and the run
+# watchdog through the real CLI path.
+fault-smoke:
+	$(GO) run ./cmd/mcastbench -fig f1 -trials 2
+
+ci: fmt-check build test lint race bench-smoke fault-smoke

@@ -8,7 +8,7 @@
 //	mcastbench -fig all -csv     # everything, machine readable
 //	mcastbench -fig 3 -trials 4  # quicker, noisier
 //
-// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, all.
+// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, all")
 		trials  = flag.Int("trials", 16, "random placements per data point (the paper uses 16)")
 		seed    = flag.Uint64("seed", 1997, "PRNG seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -134,9 +134,15 @@ func run(fig string, trials int, seed uint64, workers int, csv, chart bool) erro
 			s.Trials, s.Seed, s.Workers = trials, seed, workers
 			return emit(exp.TemporalTuning(s, 32, 4096, 400))
 		},
+		"f1": func() error {
+			// A k=32 chain spans the fabric, so a run survives only if every
+			// hop can route around its dead links; past a few percent almost
+			// no run delivers. Sweep the transition region.
+			return emit(exp.FaultSweep(meshSuite(), bminSuite(), 32, 4096, []int{0, 1, 2, 3, 4, 5}, seed))
+		},
 	}
 
-	order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model"}
+	order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1"}
 	if fig == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)

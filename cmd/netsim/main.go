@@ -6,6 +6,7 @@
 //	netsim -topo mesh -w 16 -h 16 -algo opt-mesh -k 32 -bytes 4096
 //	netsim -topo bmin -nodes 128 -algo u-min -k 16 -bytes 65536 -seed 7
 //	netsim -topo bfly -nodes 64 -algo opt-tree -k 24 -bytes 8192 -v
+//	netsim -topo mesh -algo opt -faults 5 -fault-seed 3 -deadline 200000
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/bmin"
 	"repro/internal/chain"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/mcastsim"
 	"repro/internal/mesh"
 	"repro/internal/model"
@@ -29,19 +31,24 @@ import (
 
 func main() {
 	var (
-		topo    = flag.String("topo", "mesh", "fabric: mesh, torus, bmin, bfly")
-		w       = flag.Int("w", 16, "mesh width")
-		h       = flag.Int("h", 16, "mesh height")
-		nodes   = flag.Int("nodes", 128, "bmin/bfly node count (power of two)")
-		policy  = flag.String("policy", "straight", "bmin ascent policy: straight, dest, adaptive, adaptive-dest")
-		algo    = flag.String("algo", "opt", "algorithm: opt (architecture chain), opt-tree (unordered), binomial, sequential")
-		k       = flag.Int("k", 32, "multicast size (source + k-1 destinations)")
-		bytes   = flag.Int("bytes", 4096, "message size in bytes")
-		seed    = flag.Uint64("seed", 1, "placement seed")
-		addrB   = flag.Int("addrbytes", 0, "payload bytes charged per carried destination address")
-		verbose = flag.Bool("v", false, "print per-node delivery times")
-		gantt   = flag.Bool("trace", false, "print a message-timeline Gantt chart and the hottest channels")
-		heatmap = flag.Bool("heatmap", false, "print a mesh link-utilization heatmap (mesh only)")
+		topo     = flag.String("topo", "mesh", "fabric: mesh, torus, bmin, bfly")
+		w        = flag.Int("w", 16, "mesh width")
+		h        = flag.Int("h", 16, "mesh height")
+		nodes    = flag.Int("nodes", 128, "bmin/bfly node count (power of two)")
+		policy   = flag.String("policy", "straight", "bmin ascent policy: straight, dest, adaptive, adaptive-dest")
+		algo     = flag.String("algo", "opt", "algorithm: opt (architecture chain), opt-tree (unordered), binomial, sequential")
+		k        = flag.Int("k", 32, "multicast size (source + k-1 destinations)")
+		bytes    = flag.Int("bytes", 4096, "message size in bytes")
+		seed     = flag.Uint64("seed", 1, "placement seed")
+		addrB    = flag.Int("addrbytes", 0, "payload bytes charged per carried destination address")
+		verbose  = flag.Bool("v", false, "print per-node delivery times")
+		gantt    = flag.Bool("trace", false, "print a message-timeline Gantt chart and the hottest channels")
+		heatmap  = flag.Bool("heatmap", false, "print a mesh link-utilization heatmap (mesh only)")
+		faults   = flag.Float64("faults", 0, "percent of fabric links to kill (dead links, routed around or unreachable)")
+		degraded = flag.Float64("degraded", 0, "percent of fabric links at 1/4 bandwidth")
+		flaky    = flag.Float64("flaky", 0, "percent of fabric links with periodic transient outages")
+		fseed    = flag.Uint64("fault-seed", 1, "fault plan seed (same seed = same failed links)")
+		deadline = flag.Int64("deadline", 0, "abort the multicast after this many cycles (0 = generous default)")
 	)
 	flag.Parse()
 
@@ -49,6 +56,8 @@ func main() {
 		topo: *topo, w: *w, h: *h, nodes: *nodes, policy: *policy, algo: *algo,
 		k: *k, bytes: *bytes, seed: *seed, addrB: *addrB,
 		verbose: *verbose, gantt: *gantt, heatmap: *heatmap,
+		faults: *faults, degraded: *degraded, flaky: *flaky,
+		faultSeed: *fseed, deadline: *deadline,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
@@ -65,6 +74,10 @@ type options struct {
 	verbose      bool
 	gantt        bool
 	heatmap      bool
+
+	faults, degraded, flaky float64 // percentages of fabric links
+	faultSeed               uint64
+	deadline                int64
 }
 
 func run(o options) error {
@@ -111,6 +124,23 @@ func run(o options) error {
 	if k > n {
 		return fmt.Errorf("k=%d exceeds fabric size %d", k, n)
 	}
+	if o.heatmap && theMesh == nil {
+		return fmt.Errorf("-heatmap requires a 2-D mesh fabric, not %q (use -trace for per-channel reports on other topologies)", topoName)
+	}
+
+	var plan *fault.Plan
+	if o.faults > 0 || o.degraded > 0 || o.flaky > 0 {
+		var err error
+		plan, err = fault.NewPlan(topo, fault.Spec{
+			DeadFrac:     o.faults / 100,
+			DegradedFrac: o.degraded / 100,
+			FlakyFrac:    o.flaky / 100,
+			Seed:         o.faultSeed,
+		})
+		if err != nil {
+			return err
+		}
+	}
 
 	soft := model.DefaultSoftware()
 	runCfg := mcastsim.Config{Software: soft, AddrBytes: addrB}
@@ -146,18 +176,28 @@ func run(o options) error {
 	root, _ := ch.Index(addrs[0])
 
 	net := wormhole.New(topo, cfg)
+	if plan != nil {
+		// Calibration above ran on a healthy fabric (the tree is tuned for
+		// the machine as specified); only the measured run is degraded.
+		net.SetFaults(plan)
+	}
 	usage := trace.NewChannelUsage(topo)
 	timeline := trace.NewTimeline()
 	if o.gantt || o.heatmap {
 		net.SetObserver(trace.Multi{usage, timeline})
 	}
-	res, err := mcastsim.Run(net, tab, ch, root, bytes, runCfg)
+	mainCfg := runCfg
+	mainCfg.MaxCycles = o.deadline
+	res, err := mcastsim.Run(net, tab, ch, root, bytes, mainCfg)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("fabric: %s (%d nodes)   algorithm: %s   k=%d   message=%d bytes\n",
 		topoName, n, algoName, k, bytes)
+	if plan != nil {
+		fmt.Printf("faults: %s\n", plan)
+	}
 	fmt.Printf("measured parameters: t_hold=%d  t_end=%d  (ratio %.3f)\n",
 		thold, tend, float64(thold)/float64(tend))
 	fmt.Printf("multicast latency:   %d cycles\n", res.Latency)

@@ -89,14 +89,53 @@ func TestVerboseAndTraceOutputs(t *testing.T) {
 }
 
 func TestHeatmapRequiresMesh(t *testing.T) {
+	for _, topo := range []string{"bmin", "bfly", "torus"} {
+		o := base()
+		o.topo, o.heatmap = topo, true
+		_, err := capture(t, func() error { return run(o) })
+		if err == nil || !strings.Contains(err.Error(), "heatmap requires a 2-D mesh") {
+			t.Fatalf("%s: want a clear heatmap error, got %v", topo, err)
+		}
+	}
+}
+
+func TestFaultFlags(t *testing.T) {
 	o := base()
-	o.topo, o.heatmap = "bfly", true
+	o.faults, o.degraded, o.flaky, o.faultSeed = 2, 5, 5, 3
 	out, err := capture(t, func() error { return run(o) })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "only available for mesh") {
-		t.Fatalf("missing mesh-only note:\n%s", out)
+	if !strings.Contains(out, "fault plan seed=3") {
+		t.Fatalf("missing fault plan summary:\n%s", out)
+	}
+	// Same seed, same plan, same outcome.
+	again, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != out {
+		t.Fatalf("faulted run not reproducible:\n--- first\n%s\n--- second\n%s", out, again)
+	}
+}
+
+func TestFaultsCanPartition(t *testing.T) {
+	// Seed 1 kills a link whose column the detour cannot route around;
+	// the run must fail fast with the unreachable diagnostic, not hang.
+	o := base()
+	o.faults, o.faultSeed = 2, 1
+	_, err := capture(t, func() error { return run(o) })
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("want unreachable error, got %v", err)
+	}
+}
+
+func TestDeadlineFlag(t *testing.T) {
+	o := base()
+	o.deadline = 10
+	_, err := capture(t, func() error { return run(o) })
+	if err == nil || !strings.Contains(err.Error(), "not complete after 10 cycles") {
+		t.Fatalf("want deadline error, got %v", err)
 	}
 }
 

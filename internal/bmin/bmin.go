@@ -191,6 +191,83 @@ func (b *BMIN) Route(cur wormhole.ChannelID, src, dst wormhole.NodeID, buf []wor
 	return append(buf, b.down(l-1, q))
 }
 
+// RouteDegraded implements wormhole.FaultRouter via alternate ascent.
+// Turnaround routing is flexible exactly while ascending: a message may
+// turn at ANY stage at or above its turnaround stage (address bits above
+// the turn already agree, and the descent fixes everything below), and
+// each ascent step may take either up port. So:
+//
+//   - ascending below the turn stage: the policy's candidates filtered of
+//     dead channels; only when every policy port is dead is the switch's
+//     other up port offered (an ascent column the policy would not pick,
+//     but equally valid).
+//   - at or above the turn stage: the turning down port, or unreachable.
+//     Ascending further cannot help: the descent re-fixes every address
+//     bit at or above the dead channel's stage to dst's value, and the
+//     bits below it were committed by the ascent, so every higher turn
+//     descends through exactly the same dead channel.
+//   - descending: the path is unique (each stage fixes one address bit),
+//     so a dead down channel means dst is unreachable — turnaround
+//     routing cannot reverse a second time.
+//
+// When no candidate is dead the result equals Route's exactly, so a
+// faulted fabric whose failures miss the path behaves identically to a
+// healthy one.
+func (b *BMIN) RouteDegraded(cur wormhole.ChannelID, src, dst wormhole.NodeID, dead func(wormhole.ChannelID) bool, buf []wormhole.ChannelID) []wormhole.ChannelID {
+	d := b.TurnStage(int(src), int(dst))
+	up, l, p := b.decode(cur)
+	if up {
+		if l >= d {
+			q := setBit(p, l, (int(dst)>>l)&1)
+			if c := b.down(l, q); !dead(c) {
+				return append(buf, c)
+			}
+			return buf
+		}
+		straight := b.up(l+1, p)
+		crossed := b.up(l+1, p^(1<<l))
+		destFirst := b.up(l+1, setBit(p, l, (int(dst)>>l)&1))
+		destSecond := b.up(l+1, setBit(p, l, 1-(int(dst)>>l)&1))
+		var policy []wormhole.ChannelID
+		switch b.policy {
+		case AscentStraight:
+			policy = []wormhole.ChannelID{straight}
+		case AscentDest:
+			policy = []wormhole.ChannelID{destFirst}
+		case AscentAdaptive:
+			policy = []wormhole.ChannelID{straight, crossed}
+		case AscentAdaptiveDest:
+			policy = []wormhole.ChannelID{destFirst, destSecond}
+		default:
+			panic(fmt.Sprintf("bmin: unknown ascent policy %d", b.policy))
+		}
+		n0 := len(buf)
+		for _, c := range policy {
+			if !dead(c) {
+				buf = append(buf, c)
+			}
+		}
+		if len(buf) == n0 {
+			// Every policy port is dead; the switch's other up port (the
+			// complement of {straight, crossed}) is the last resort.
+			for _, c := range [2]wormhole.ChannelID{straight, crossed} {
+				if !dead(c) && (len(policy) == 1 && c != policy[0]) {
+					buf = append(buf, c)
+				}
+			}
+		}
+		return buf
+	}
+	if l == 0 {
+		panic("bmin: routing from an ejection channel")
+	}
+	q := setBit(p, l-1, (int(dst)>>(l-1))&1)
+	if c := b.down(l-1, q); !dead(c) {
+		return append(buf, c)
+	}
+	return buf
+}
+
 // DescribeChannel implements wormhole.Topology.
 func (b *BMIN) DescribeChannel(c wormhole.ChannelID) string {
 	if c < 0 || int(c) >= b.NumChannels() {
@@ -204,4 +281,7 @@ func (b *BMIN) DescribeChannel(c wormhole.ChannelID) string {
 	return fmt.Sprintf("%s(l=%d,p=%d)", dir, l, p)
 }
 
-var _ wormhole.Topology = (*BMIN)(nil)
+var (
+	_ wormhole.Topology    = (*BMIN)(nil)
+	_ wormhole.FaultRouter = (*BMIN)(nil)
+)

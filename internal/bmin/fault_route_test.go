@@ -1,0 +1,146 @@
+package bmin_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	. "repro/internal/bmin"
+	"repro/internal/wormhole"
+)
+
+func noDead(wormhole.ChannelID) bool { return false }
+
+func deadSet(chans ...wormhole.ChannelID) func(wormhole.ChannelID) bool {
+	m := map[wormhole.ChannelID]bool{}
+	for _, c := range chans {
+		m[c] = true
+	}
+	return func(c wormhole.ChannelID) bool { return m[c] }
+}
+
+// walkDegraded follows RouteDegraded's first candidate from src's inject
+// channel until delivery, returning the hop count. It fails the test on
+// an unreachable verdict, a dead candidate, or a walk exceeding bound.
+func walkDegraded(t *testing.T, b *BMIN, src, dst wormhole.NodeID, dead func(wormhole.ChannelID) bool, bound int) int {
+	t.Helper()
+	cur := b.InjectChannel(src)
+	for hop := 0; ; hop++ {
+		if hop > bound {
+			t.Fatalf("%d->%d: walk exceeded %d hops", src, dst, bound)
+		}
+		cands := b.RouteDegraded(cur, src, dst, dead, nil)
+		if len(cands) == 0 {
+			t.Fatalf("%d->%d: unreachable at %s", src, dst, b.DescribeChannel(cur))
+		}
+		for _, c := range cands {
+			if dead(c) {
+				t.Fatalf("RouteDegraded offered dead channel %s", b.DescribeChannel(c))
+			}
+		}
+		if cands[0] == b.EjectChannel(dst) {
+			return hop
+		}
+		cur = cands[0]
+	}
+}
+
+// TestRouteDegradedHealthyEqualsRoute: with nothing dead, the fault-aware
+// router must reproduce the policy's Route candidates exactly — at every
+// hop, for every pair, under all four ascent policies.
+func TestRouteDegradedHealthyEqualsRoute(t *testing.T) {
+	for _, pol := range []AscentPolicy{AscentStraight, AscentDest, AscentAdaptive, AscentAdaptiveDest} {
+		b := New(32, pol)
+		for s := 0; s < b.NumNodes(); s++ {
+			for d := 0; d < b.NumNodes(); d++ {
+				if s == d {
+					continue
+				}
+				src, dst := wormhole.NodeID(s), wormhole.NodeID(d)
+				cur := b.InjectChannel(src)
+				for hops := 0; ; hops++ {
+					if hops > 4*b.Stages() {
+						t.Fatalf("%v %d->%d: walk did not terminate", pol, s, d)
+					}
+					want := b.Route(cur, src, dst, nil)
+					got := b.RouteDegraded(cur, src, dst, noDead, nil)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%v %d->%d at %s: RouteDegraded %v != Route %v",
+							pol, s, d, b.DescribeChannel(cur), got, want)
+					}
+					if want[0] == b.EjectChannel(dst) {
+						break
+					}
+					cur = want[0]
+				}
+			}
+		}
+	}
+}
+
+// TestRouteDegradedAlternateAscent: under the deterministic straight
+// policy, killing the policy's up port must surface the switch's other
+// (crossed) up port — an ascent column the policy would never pick but an
+// equally valid turnaround path — and the walk must still deliver in the
+// minimal 2*(turn+1) hops.
+func TestRouteDegradedAlternateAscent(t *testing.T) {
+	b := New(64, AscentStraight)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(63)
+	straight := b.Route(b.InjectChannel(src), src, dst, nil)
+	if len(straight) != 1 {
+		t.Fatalf("straight ascent returned %d candidates", len(straight))
+	}
+	dead := deadSet(straight[0])
+	alt := b.RouteDegraded(b.InjectChannel(src), src, dst, dead, nil)
+	if len(alt) != 1 || alt[0] == straight[0] {
+		t.Fatalf("want exactly the crossed port, got %v", alt)
+	}
+	healthy := walkDegraded(t, b, src, dst, noDead, 4*b.Stages())
+	if hops := walkDegraded(t, b, src, dst, dead, 4*b.Stages()); hops != healthy {
+		t.Fatalf("alternate ascent delivered in %d hops, want the healthy path's %d", hops, healthy)
+	}
+}
+
+// TestRouteDegradedTurnDeadUnreachable: a dead turning down port is
+// terminal. Ascending further cannot help — the descent re-fixes every
+// bit at or above the dead channel's stage to dst's value and the bits
+// below were committed by the ascent, so every higher turn descends
+// through the same dead channel. The router must say so immediately
+// rather than send the worm on a detour that provably dead-ends.
+func TestRouteDegradedTurnDeadUnreachable(t *testing.T) {
+	b := New(64, AscentStraight)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(2) // turn stage 1
+	// Ascend once (healthy) to the turn switch.
+	cur := b.Route(b.InjectChannel(src), src, dst, nil)[0]
+	turnDown := b.Route(cur, src, dst, nil)
+	if len(turnDown) != 1 || !strings.HasPrefix(b.DescribeChannel(turnDown[0]), "down(") {
+		t.Fatalf("expected the unique turning down port, got %v", turnDown)
+	}
+	if got := b.RouteDegraded(cur, src, dst, deadSet(turnDown[0]), nil); len(got) != 0 {
+		t.Fatalf("dead turn port still routed: %v", got)
+	}
+}
+
+// TestRouteDegradedDescentDeadUnreachable: the descent is unique (each
+// stage fixes one address bit), so a dead down channel mid-descent is an
+// immediate unreachable verdict — turnaround routing cannot reverse a
+// second time.
+func TestRouteDegradedDescentDeadUnreachable(t *testing.T) {
+	b := New(64, AscentStraight)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(37) // turn stage 5: long descent
+	cur := b.InjectChannel(src)
+	for {
+		cands := b.Route(cur, src, dst, nil)
+		next := cands[0]
+		if strings.HasPrefix(b.DescribeChannel(cur), "down(") {
+			if got := b.RouteDegraded(cur, src, dst, deadSet(next), nil); len(got) != 0 {
+				t.Fatalf("dead descent channel at %s still routed: %v", b.DescribeChannel(cur), got)
+			}
+			return
+		}
+		if next == b.EjectChannel(dst) {
+			t.Fatal("walk delivered before reaching a mid-descent channel")
+		}
+		cur = next
+	}
+}

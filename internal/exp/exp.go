@@ -249,8 +249,14 @@ func (s *Suite) placement(trial, k int) []int {
 	return r.Sample(s.Platform.Nodes, k)
 }
 
-// runOnce executes one multicast and returns its result.
+// runOnce executes one multicast on a fresh healthy fabric.
 func (s *Suite) runOnce(a Algorithm, addrs []int, bytes int, thold, tend model.Time) (mcastsim.Result, error) {
+	return s.runOnceOn(s.Platform.NewNet(), a, addrs, bytes, thold, tend)
+}
+
+// runOnceOn executes one multicast on a caller-built fabric — the fault
+// sweeps build the net themselves so they can install a fault plan first.
+func (s *Suite) runOnceOn(net *wormhole.Network, a Algorithm, addrs []int, bytes int, thold, tend model.Time) (mcastsim.Result, error) {
 	var ch chain.Chain
 	if a.Ordered {
 		ch = chain.New(addrs, s.Platform.Less)
@@ -262,7 +268,7 @@ func (s *Suite) runOnce(a Algorithm, addrs []int, bytes int, thold, tend model.T
 		return mcastsim.Result{}, fmt.Errorf("exp: source %d not in chain", addrs[0])
 	}
 	tab := a.Table(len(ch), thold, tend)
-	return mcastsim.Run(s.Platform.NewNet(), tab, ch, root, bytes, s.runConfig())
+	return mcastsim.Run(net, tab, ch, root, bytes, s.runConfig())
 }
 
 // Cell is one (x, algorithm) aggregate of a sweep.
@@ -353,25 +359,30 @@ func (s *Suite) sweep(title, xlabel string, xs []int, algos []Algorithm, kOf, by
 		}
 	}
 
+	// One pass over the results, indexed by (xi, ai). Jobs were enumerated
+	// xi-major then ai then trial, so each cell still accumulates its
+	// trials in the same order as the former per-cell rescan — the online
+	// Stats sums are bit-identical, just O(jobs) instead of
+	// O(rows·algos·jobs).
+	type agg struct{ lat, blocked, wait sim.Stats }
+	aggs := make([]agg, len(xs)*len(algos))
+	for i, j := range jobs {
+		a := &aggs[j.xi*len(algos)+j.ai]
+		a.lat.Add(float64(results[i].Latency))
+		a.blocked.Add(float64(results[i].BlockedCycles))
+		a.wait.Add(float64(results[i].InjectWaitCycles))
+	}
 	t.Rows = make([]Row, len(xs))
 	for xi, x := range xs {
 		row := Row{X: float64(x), Cells: make([]Cell, len(algos))}
 		for ai := range algos {
-			var lat, blocked, wait sim.Stats
-			for i, j := range jobs {
-				if j.xi != xi || j.ai != ai {
-					continue
-				}
-				lat.Add(float64(results[i].Latency))
-				blocked.Add(float64(results[i].BlockedCycles))
-				wait.Add(float64(results[i].InjectWaitCycles))
-			}
+			a := &aggs[xi*len(algos)+ai]
 			row.Cells[ai] = Cell{
-				Mean:       lat.Mean(),
-				CI95:       lat.CI95(),
-				Blocked:    blocked.Mean(),
-				InjectWait: wait.Mean(),
-				N:          lat.N(),
+				Mean:       a.lat.Mean(),
+				CI95:       a.lat.CI95(),
+				Blocked:    a.blocked.Mean(),
+				InjectWait: a.wait.Mean(),
+				N:          a.lat.N(),
 			}
 		}
 		t.Rows[xi] = row

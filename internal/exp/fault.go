@@ -1,0 +1,146 @@
+package exp
+
+// Experiment F1: graceful degradation. The paper's contention-freedom
+// theorems assume a healthy fabric; F1 measures what the tuned trees
+// actually deliver as links fail — mean multicast latency (over the
+// surviving runs) versus the percentage of dead fabric links, for the
+// four named algorithms on their home fabrics. Fault plans are seeded,
+// so the whole table is byte-for-byte reproducible.
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/mcastsim"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// FaultSweep runs experiment F1: latency vs % failed links for U-mesh
+// and OPT-mesh on the mesh suite and U-min and OPT-min on the BMIN
+// suite. k is the multicast size and bytes the message size; pcts are
+// the x values (percent of fabric-internal links made dead, each in
+// [0,100]); faultSeed seeds the per-(row, trial) fault plans.
+//
+// Calibration (t_hold, t_end) is measured on the healthy fabric — the
+// tuned tree is planned for the machine as specified, then executed on
+// the degraded one, which is exactly the robustness question. Runs that
+// fail (unreachable destination, watchdog abort) are excluded from the
+// cell aggregate; Cell.N counts the survivors and the table notes name
+// every cell that lost runs.
+func FaultSweep(meshSuite, bminSuite *Suite, k, bytes int, pcts []int, faultSeed uint64) (*Table, error) {
+	for _, p := range pcts {
+		if p < 0 || p > 100 {
+			return nil, fmt.Errorf("exp: fault percentage %d outside [0,100]", p)
+		}
+	}
+	type column struct {
+		suite *Suite
+		algo  Algorithm
+	}
+	cols := []column{
+		{meshSuite, Binomial("U-mesh")},
+		{meshSuite, Opt("OPT-mesh")},
+		{bminSuite, Binomial("U-min")},
+		{bminSuite, Opt("OPT-min")},
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("F1: multicast latency vs %% failed links (k=%d, %d-byte messages)", k, bytes),
+		XLabel: "failed links (%)",
+		YLabel: "multicast latency (cycles, mean over surviving runs)",
+	}
+	for _, c := range cols {
+		t.Algorithms = append(t.Algorithms, c.algo.Name)
+	}
+	trials := meshSuite.Trials
+	if trials <= 0 {
+		trials = 16
+	}
+
+	// Healthy-fabric calibration, once per suite.
+	tends := make([]model.Time, len(cols))
+	for i, c := range cols {
+		if i > 0 && cols[i-1].suite == c.suite {
+			tends[i] = tends[i-1]
+			continue
+		}
+		te, err := c.suite.MeasureTEnd(bytes)
+		if err != nil {
+			return nil, err
+		}
+		tends[i] = te
+		t.Notes = append(t.Notes, fmt.Sprintf("healthy calibration on %s: t_hold(%dB)=%d t_end(%dB)=%d",
+			c.suite.Platform.Name, bytes, c.suite.Software.Hold.At(bytes), bytes, te))
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d random placements per point, placement seed %d, fault seed %d",
+		trials, meshSuite.Seed, faultSeed))
+
+	type job struct{ pi, ci, trial int }
+	var jobs []job
+	for pi := range pcts {
+		for ci := range cols {
+			for tr := 0; tr < trials; tr++ {
+				jobs = append(jobs, job{pi, ci, tr})
+			}
+		}
+	}
+	results := make([]mcastsim.Result, len(jobs))
+	failed := make([]bool, len(jobs))
+	sim.ForEach(len(jobs), meshSuite.Workers, func(i int) {
+		j := jobs[i]
+		c := cols[j.ci]
+		net := c.suite.Platform.NewNet()
+		if pct := pcts[j.pi]; pct > 0 {
+			// The plan depends on (row, trial) but not the column, so the
+			// two mesh algorithms face identical dead-link sets (and
+			// likewise the two BMIN algorithms) — common random numbers
+			// across the series, as in the healthy sweeps.
+			plan := fault.MustPlan(net.Topology(), fault.Spec{
+				DeadFrac: float64(pct) / 100,
+				Seed:     faultSeed + uint64(j.pi)*0x9e3779b9 + uint64(j.trial)*0x85ebca6b,
+			})
+			net.SetFaults(plan)
+		}
+		addrs := c.suite.placement(j.trial, k)
+		res, err := c.suite.runOnceOn(net, c.algo, addrs, bytes, c.suite.Software.Hold.At(bytes), tends[j.ci])
+		if err != nil {
+			failed[i] = true
+			return
+		}
+		results[i] = res
+	})
+
+	type agg struct {
+		lat, blocked, wait sim.Stats
+	}
+	aggs := make([]agg, len(pcts)*len(cols))
+	for i, j := range jobs {
+		if failed[i] {
+			continue
+		}
+		a := &aggs[j.pi*len(cols)+j.ci]
+		a.lat.Add(float64(results[i].Latency))
+		a.blocked.Add(float64(results[i].BlockedCycles))
+		a.wait.Add(float64(results[i].InjectWaitCycles))
+	}
+	t.Rows = make([]Row, len(pcts))
+	for pi, p := range pcts {
+		row := Row{X: float64(p), Cells: make([]Cell, len(cols))}
+		for ci := range cols {
+			a := &aggs[pi*len(cols)+ci]
+			row.Cells[ci] = Cell{
+				Mean:       a.lat.Mean(),
+				CI95:       a.lat.CI95(),
+				Blocked:    a.blocked.Mean(),
+				InjectWait: a.wait.Mean(),
+				N:          a.lat.N(),
+			}
+			if n := a.lat.N(); n < trials {
+				t.Notes = append(t.Notes, fmt.Sprintf("%s at %d%%: %d/%d runs delivered (rest unreachable or watchdog-aborted)",
+					cols[ci].algo.Name, p, n, trials))
+			}
+		}
+		t.Rows[pi] = row
+	}
+	return t, nil
+}

@@ -1,0 +1,211 @@
+// Package fault builds seeded, deterministic fault plans for wormhole
+// fabrics: a Plan assigns each fabric channel a failure class (healthy,
+// dead, degraded bandwidth, or transiently flaky) and implements
+// wormhole.FaultModel, so installing it with Network.SetFaults degrades
+// the fabric reproducibly. The same (topology, Spec) always yields the
+// same plan on every platform — fault sweeps are as replayable as the
+// healthy-path experiment tables.
+//
+// Injection and ejection channels are never faulted: a node whose only
+// way in or out of the fabric is dead cannot participate in any
+// experiment, and the paper's one-port model treats the network
+// interface as part of the node, not the fabric. Faults therefore land
+// only on fabric-internal channels, which is also where the routing
+// fallbacks (mesh/torus adaptive detours, BMIN alternate ascent) can do
+// something about them.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/wormhole"
+)
+
+// Class is a channel's failure class within a Plan.
+type Class uint8
+
+const (
+	// Healthy channels behave normally.
+	Healthy Class = iota
+	// Dead channels never carry a flit; the routing layer detours around
+	// them or reports the destination unreachable.
+	Dead
+	// Degraded channels accept one flit every Period cycles (a 1/Period
+	// duty cycle), modelling a link retrained to a fraction of its
+	// bandwidth.
+	Degraded
+	// Flaky channels alternate outage and service windows: down for
+	// FlakyDown cycles out of every FlakyPeriod, modelling transient
+	// faults (thermal throttling, lossy retransmission storms).
+	Flaky
+)
+
+// Spec parameterizes a fault plan. Fractions are of the fabric-internal
+// channels (injection/ejection channels are never eligible); they are
+// rounded to the nearest channel count and must sum to at most 1.
+type Spec struct {
+	// DeadFrac is the fraction of fabric channels that fail permanently.
+	DeadFrac float64
+	// DegradedFrac is the fraction running at a 1/Period duty cycle.
+	DegradedFrac float64
+	// Period is the degraded duty-cycle period in cycles (default 4, i.e.
+	// 25% bandwidth).
+	Period int64
+	// FlakyFrac is the fraction with periodic transient outages.
+	FlakyFrac float64
+	// FlakyPeriod and FlakyDown shape the outage window: down for
+	// FlakyDown cycles out of every FlakyPeriod (defaults 64 and 16).
+	FlakyPeriod int64
+	FlakyDown   int64
+	// Seed selects which channels fail and each channel's phase offset.
+	Seed uint64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Period == 0 {
+		s.Period = 4
+	}
+	if s.FlakyPeriod == 0 {
+		s.FlakyPeriod = 64
+	}
+	if s.FlakyDown == 0 {
+		s.FlakyDown = 16
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"DeadFrac", s.DeadFrac}, {"DegradedFrac", s.DegradedFrac}, {"FlakyFrac", s.FlakyFrac}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("fault: %s %g outside [0,1]", f.name, f.v)
+		}
+	}
+	if sum := s.DeadFrac + s.DegradedFrac + s.FlakyFrac; sum > 1 {
+		return fmt.Errorf("fault: fractions sum to %g > 1", sum)
+	}
+	if s.Period < 1 {
+		return fmt.Errorf("fault: Period %d < 1", s.Period)
+	}
+	if s.FlakyPeriod < 1 || s.FlakyDown < 0 || s.FlakyDown > s.FlakyPeriod {
+		return fmt.Errorf("fault: flaky window %d/%d invalid", s.FlakyDown, s.FlakyPeriod)
+	}
+	return nil
+}
+
+// Plan is an immutable channel-fault assignment for one topology. It
+// implements wormhole.FaultModel. All state is fixed at construction, so
+// a Plan may be shared by concurrently running networks.
+type Plan struct {
+	spec     Spec
+	class    []Class
+	phase    []int64 // per-channel offset desynchronizing duty cycles
+	eligible int     // fabric-internal channel count
+	counts   [4]int  // channels per class
+}
+
+// NewPlan draws a fault plan over the topology's fabric-internal
+// channels. The same (topology, spec) always produces the same plan. It
+// returns an error for an invalid spec.
+func NewPlan(topo wormhole.Topology, spec Spec) (*Plan, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		spec:  spec,
+		class: make([]Class, topo.NumChannels()),
+		phase: make([]int64, topo.NumChannels()),
+	}
+	protected := make([]bool, topo.NumChannels())
+	for i := 0; i < topo.NumNodes(); i++ {
+		protected[topo.InjectChannel(wormhole.NodeID(i))] = true
+		protected[topo.EjectChannel(wormhole.NodeID(i))] = true
+	}
+	fabric := make([]wormhole.ChannelID, 0, topo.NumChannels())
+	for c := 0; c < topo.NumChannels(); c++ {
+		if !protected[c] {
+			fabric = append(fabric, wormhole.ChannelID(c))
+		}
+	}
+	p.eligible = len(fabric)
+
+	round := func(frac float64) int { return int(frac*float64(len(fabric)) + 0.5) }
+	nDead, nDeg, nFlaky := round(spec.DeadFrac), round(spec.DegradedFrac), round(spec.FlakyFrac)
+	if total := nDead + nDeg + nFlaky; total > len(fabric) {
+		nFlaky -= total - len(fabric) // rounding overshoot; fractions sum <= 1
+	}
+
+	rng := sim.NewRNG(spec.Seed ^ 0x5fd4_43b1_27f0_9c3d)
+	picks := rng.Sample(len(fabric), nDead+nDeg+nFlaky)
+	for i, pi := range picks {
+		c := fabric[pi]
+		switch {
+		case i < nDead:
+			p.class[c] = Dead
+		case i < nDead+nDeg:
+			p.class[c] = Degraded
+			p.phase[c] = int64(rng.Uint64() % uint64(spec.Period))
+		default:
+			p.class[c] = Flaky
+			p.phase[c] = int64(rng.Uint64() % uint64(spec.FlakyPeriod))
+		}
+	}
+	for _, cl := range p.class {
+		p.counts[cl]++
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan for specs known valid at compile time; it panics on
+// error.
+func MustPlan(topo wormhole.Topology, spec Spec) *Plan {
+	p, err := NewPlan(topo, spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Dead implements wormhole.FaultModel.
+func (p *Plan) Dead(c wormhole.ChannelID) bool { return p.class[c] == Dead }
+
+// Up implements wormhole.FaultModel: whether channel c accepts a flit at
+// cycle now. Healthy channels always do; degraded channels on one cycle
+// in Period; flaky channels outside their outage window. Phases are
+// per-channel so faulted channels do not pulse in lockstep.
+func (p *Plan) Up(c wormhole.ChannelID, now int64) bool {
+	switch p.class[c] {
+	case Degraded:
+		return (now+p.phase[c])%p.spec.Period == 0
+	case Flaky:
+		return (now+p.phase[c])%p.spec.FlakyPeriod >= p.spec.FlakyDown
+	case Dead:
+		return false
+	default:
+		return true
+	}
+}
+
+// ClassOf returns channel c's failure class.
+func (p *Plan) ClassOf(c wormhole.ChannelID) Class { return p.class[c] }
+
+// DeadCount returns the number of dead channels.
+func (p *Plan) DeadCount() int { return p.counts[Dead] }
+
+// FaultedCount returns the number of non-healthy channels.
+func (p *Plan) FaultedCount() int { return p.counts[Dead] + p.counts[Degraded] + p.counts[Flaky] }
+
+// Eligible returns the number of fabric-internal channels the fractions
+// were drawn over.
+func (p *Plan) Eligible() int { return p.eligible }
+
+// String summarizes the plan for logs and table notes.
+func (p *Plan) String() string {
+	return fmt.Sprintf("fault plan seed=%d: %d dead, %d degraded(1/%d), %d flaky(%d/%d) of %d fabric channels",
+		p.spec.Seed, p.counts[Dead], p.counts[Degraded], p.spec.Period,
+		p.counts[Flaky], p.spec.FlakyDown, p.spec.FlakyPeriod, p.eligible)
+}

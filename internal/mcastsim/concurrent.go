@@ -114,9 +114,11 @@ func RunConcurrent(net *wormhole.Network, groups []Group, cfg Config) ([]GroupRe
 
 	startStats := net.Stats()
 	deadline := t0 + max
+	wd := newWatchdog(net, cfg)
 	for events.Len() > 0 || net.Active() > 0 {
 		if net.Active() == 0 {
 			net.AdvanceTo(events.NextTime())
+			wd.idled()
 		}
 		events.RunDue(net.Now())
 		if planErr != nil {
@@ -137,8 +139,12 @@ func RunConcurrent(net *wormhole.Network, groups []Group, cfg Config) ([]GroupRe
 				limit = events.NextTime()
 			}
 			net.StepUntil(limit)
+			if err := wd.check(); err != nil {
+				return nil, err
+			}
 			if net.Now() > deadline {
-				return nil, fmt.Errorf("mcastsim: concurrent batch not complete after %d cycles", max)
+				return nil, fmt.Errorf("mcastsim: concurrent batch not complete after %d cycles; %s",
+					max, net.DeadlockReport(8))
 			}
 		}
 	}

@@ -35,6 +35,63 @@ type Config struct {
 	// MaxCycles bounds the simulation as a safety net against routing
 	// bugs; 0 means a generous default derived from the workload.
 	MaxCycles int64
+	// NoProgressCycles is the no-progress watchdog window: if no flit
+	// moves fabric-wide for this many cycles while worms are in flight,
+	// the run aborts with a diagnostic naming the stuck worms and the
+	// hottest blocked channel (wormhole.Network.DeadlockReport). New sends
+	// can never free a held channel, so a fabric-wide freeze longer than
+	// the router pipeline is permanent — the only false-positive risk is a
+	// fault model whose outage windows exceed the watchdog window, which
+	// is why the window must stay well above them. 0 means the default
+	// (4096 cycles); negative disables the watchdog. The effective window
+	// is never below 2*RouterDelay+64.
+	NoProgressCycles int64
+}
+
+// defaultNoProgress is the watchdog window used when
+// Config.NoProgressCycles is 0.
+const defaultNoProgress = 4096
+
+// watchdog aborts runs on a degraded or misrouted fabric that can no
+// longer make progress, instead of spinning until the cycle deadline.
+type watchdog struct {
+	net      *wormhole.Network
+	window   int64 // <= 0: disabled
+	lastHops int64
+	lastMove int64
+}
+
+func newWatchdog(net *wormhole.Network, cfg Config) watchdog {
+	w := cfg.NoProgressCycles
+	if w == 0 {
+		w = defaultNoProgress
+	}
+	if min := 2*net.Config().RouterDelay + 64; w > 0 && w < min {
+		w = min
+	}
+	return watchdog{net: net, window: w, lastHops: net.Stats().FlitHops, lastMove: net.Now()}
+}
+
+// idled resets the movement clock after the driver fast-forwards an idle
+// fabric (no worms in flight is not a stall).
+func (wd *watchdog) idled() { wd.lastMove = wd.net.Now() }
+
+// check is called after every StepUntil. It surfaces unreachable-
+// destination errors recorded by the fault layer and detects fabric-wide
+// no-progress freezes.
+func (wd *watchdog) check() error {
+	if err := wd.net.Err(); err != nil {
+		return fmt.Errorf("mcastsim: %w; %s", err, wd.net.DeadlockReport(8))
+	}
+	if h := wd.net.Stats().FlitHops; h != wd.lastHops {
+		wd.lastHops, wd.lastMove = h, wd.net.Now()
+		return nil
+	}
+	if wd.window > 0 && wd.net.Active() > 0 && wd.net.Now()-wd.lastMove >= wd.window {
+		return fmt.Errorf("mcastsim: no flit moved for %d cycles (deadlocked or partitioned fabric); %s",
+			wd.net.Now()-wd.lastMove, wd.net.DeadlockReport(8))
+	}
+	return nil
 }
 
 // Result reports one multicast execution.
@@ -123,9 +180,11 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 
 	startStats := net.Stats()
 	deadline := r.t0 + max
+	wd := newWatchdog(net, cfg)
 	for r.events.Len() > 0 || net.Active() > 0 {
 		if net.Active() == 0 {
 			net.AdvanceTo(r.events.NextTime())
+			wd.idled()
 		}
 		r.events.RunDue(net.Now())
 		if planErr != nil {
@@ -148,8 +207,12 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 				limit = r.events.NextTime()
 			}
 			net.StepUntil(limit)
+			if err := wd.check(); err != nil {
+				return Result{}, err
+			}
 			if net.Now() > deadline {
-				return Result{}, fmt.Errorf("mcastsim: multicast not complete after %d cycles (routing deadlock or misconfiguration)", max)
+				return Result{}, fmt.Errorf("mcastsim: multicast not complete after %d cycles (routing deadlock or misconfiguration); %s",
+					max, net.DeadlockReport(8))
 			}
 		}
 	}

@@ -1,0 +1,160 @@
+package mcastsim_test
+
+// Watchdog tests: a faulted fabric must turn every failure mode into a
+// prompt, diagnostic error — never a hang. Partitions surface as
+// unreachable-destination errors; a channel that accepts nothing (without
+// being declared dead, so routing keeps waiting on it) trips the
+// no-progress watchdog, whose error names the stuck worm and the hottest
+// blocked channel.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	. "repro/internal/mcastsim"
+	"repro/internal/mesh"
+	"repro/internal/wormhole"
+)
+
+// stuckChannel is a fault model with one channel that never accepts a
+// flit yet is not reported dead: the router keeps offering it, the worm
+// waits forever, and no flit in the fabric moves — the exact shape of a
+// hardware hang the no-progress watchdog exists to catch. (A fault.Plan
+// cannot express this: its down channels are either dead, degraded with
+// a live duty cycle, or flaky with recovery windows.)
+type stuckChannel struct{ c wormhole.ChannelID }
+
+func (s stuckChannel) Dead(wormhole.ChannelID) bool          { return false }
+func (s stuckChannel) Up(c wormhole.ChannelID, _ int64) bool { return c != s.c }
+
+// TestWatchdogUnreachableSurfacesPromptly: a dead-link plan that strands
+// a destination must abort the run with an error naming the worm's
+// endpoints and carrying the deadlock report — well before the generous
+// MaxCycles safety net.
+func TestWatchdogUnreachableSurfacesPromptly(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	addrs := placement(3, 64, 12)
+	ch, root := meshChain(m, addrs)
+	tab := core.BinomialTable{Max: 12}
+	// Scan seeds for the first plan that strands this placement; the scan
+	// is deterministic, so the failing seed is always the same.
+	for seed := uint64(1); seed < 64; seed++ {
+		net := wormhole.New(m, wormhole.DefaultConfig())
+		net.SetFaults(fault.MustPlan(m, fault.Spec{DeadFrac: 0.06, Seed: seed}))
+		_, err := Run(net, tab, ch, root, 1024, Config{Software: testSoft})
+		if err == nil {
+			continue
+		}
+		msg := err.Error()
+		for _, want := range []string{"unreachable", "->", "worms in flight"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("seed %d: diagnostic lacks %q: %s", seed, want, msg)
+			}
+		}
+		return
+	}
+	t.Fatal("no seed in [1,64) stranded the placement; partition coverage is vacuous")
+}
+
+// TestWatchdogNoProgress: with one silently-stuck channel on the tree's
+// path, the run must fail after roughly the watchdog window with an error
+// naming the symptom, a stuck worm, and the hottest blocked channel.
+func TestWatchdogNoProgress(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	addrs := []int{0, 63, 7, 56}
+	ch, root := meshChain(m, addrs)
+	tab := core.BinomialTable{Max: 4}
+
+	// Stick a mid-path fabric channel on the root's route to node 63.
+	path := wormhole.PathChannels(m, 0, 63)
+	stuck := path[len(path)/2]
+
+	net := wormhole.New(m, wormhole.DefaultConfig())
+	net.SetFaults(stuckChannel{c: stuck})
+	const window = 256
+	_, err := Run(net, tab, ch, root, 1024, Config{Software: testSoft, NoProgressCycles: window})
+	if err == nil {
+		t.Fatal("run with a stuck channel completed")
+	}
+	msg := err.Error()
+	for _, want := range []string{"no flit moved", "worms in flight", "hottest blocked channel"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("watchdog diagnostic lacks %q: %s", want, msg)
+		}
+	}
+	// The report must point at fabric state, i.e. name at least one worm
+	// blocked on a channel another worm holds, or waiting on the stuck
+	// link — not merely restate the timeout.
+	if !strings.Contains(msg, "worm") {
+		t.Fatalf("watchdog diagnostic names no worm: %s", msg)
+	}
+}
+
+// TestWatchdogDisabled: NoProgressCycles < 0 switches the no-progress
+// watchdog off; the same stuck fabric then runs into MaxCycles instead,
+// which still carries the deadlock report.
+func TestWatchdogDisabled(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	addrs := []int{0, 63, 7, 56}
+	ch, root := meshChain(m, addrs)
+	tab := core.BinomialTable{Max: 4}
+	path := wormhole.PathChannels(m, 0, 63)
+
+	net := wormhole.New(m, wormhole.DefaultConfig())
+	net.SetFaults(stuckChannel{c: path[len(path)/2]})
+	_, err := Run(net, tab, ch, root, 1024, Config{
+		Software: testSoft, NoProgressCycles: -1, MaxCycles: 20000,
+	})
+	if err == nil {
+		t.Fatal("run with a stuck channel completed")
+	}
+	if !strings.Contains(err.Error(), "not complete after 20000 cycles") {
+		t.Fatalf("want the MaxCycles diagnostic, got: %v", err)
+	}
+	if !strings.Contains(err.Error(), "worms in flight") {
+		t.Fatalf("MaxCycles diagnostic lacks the deadlock report: %v", err)
+	}
+}
+
+// TestWatchdogConcurrent: the concurrent driver shares the watchdog — a
+// stuck channel under one group must abort the whole batch with the same
+// diagnostic shape.
+func TestWatchdogConcurrent(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	chA, rootA := meshChain(m, []int{0, 63, 7})
+	chB, rootB := meshChain(m, []int{16, 47, 24})
+	groups := []Group{
+		{Tab: core.BinomialTable{Max: 3}, Chain: chA, Root: rootA, Bytes: 512},
+		{Tab: core.BinomialTable{Max: 3}, Chain: chB, Root: rootB, Bytes: 512},
+	}
+	path := wormhole.PathChannels(m, 0, 63)
+
+	net := wormhole.New(m, wormhole.DefaultConfig())
+	net.SetFaults(stuckChannel{c: path[len(path)/2]})
+	_, err := RunConcurrent(net, groups, Config{Software: testSoft, NoProgressCycles: 256})
+	if err == nil {
+		t.Fatal("concurrent batch with a stuck channel completed")
+	}
+	for _, want := range []string{"no flit moved", "hottest blocked channel"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("concurrent watchdog diagnostic lacks %q: %v", want, err)
+		}
+	}
+}
+
+// TestWatchdogQuietOnHealthyRuns: the watchdog must never misfire on a
+// healthy multicast, even with the window forced down to its floor.
+func TestWatchdogQuietOnHealthyRuns(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	for seed := uint64(0); seed < 8; seed++ {
+		ch, root := meshChain(m, placement(seed, 64, 16))
+		net := wormhole.New(m, wormhole.DefaultConfig())
+		_, err := Run(net, core.BinomialTable{Max: 16}, ch, root, 4096,
+			Config{Software: testSoft, NoProgressCycles: 1})
+		if err != nil {
+			t.Fatalf("seed %d: watchdog misfired on a healthy run: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wormhole"
+)
+
+func noDead(wormhole.ChannelID) bool { return false }
+
+func deadSet(chans ...wormhole.ChannelID) func(wormhole.ChannelID) bool {
+	m := map[wormhole.ChannelID]bool{}
+	for _, c := range chans {
+		m[c] = true
+	}
+	return func(c wormhole.ChannelID) bool { return m[c] }
+}
+
+// TestRouteDegradedHealthyEqualsRoute is the healthy-path invariant: with
+// no dead channels, RouteDegraded must return exactly Route's candidate
+// set at every hop of every (src, dst) walk, so installing a fault model
+// that happens to miss a path cannot perturb it.
+func TestRouteDegradedHealthyEqualsRoute(t *testing.T) {
+	m := New2D(6, 5)
+	for s := 0; s < m.NumNodes(); s++ {
+		for d := 0; d < m.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			src, dst := wormhole.NodeID(s), wormhole.NodeID(d)
+			cur := m.InjectChannel(src)
+			for hops := 0; ; hops++ {
+				if hops > 2*m.NumNodes() {
+					t.Fatalf("%d->%d: walk did not terminate", s, d)
+				}
+				want := m.Route(cur, src, dst, nil)
+				got := m.RouteDegraded(cur, src, dst, noDead, nil)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%d->%d at %s: RouteDegraded %v != Route %v",
+						s, d, m.DescribeChannel(cur), got, want)
+				}
+				if want[0] == m.EjectChannel(dst) {
+					break
+				}
+				cur = want[0]
+			}
+		}
+	}
+}
+
+// TestRouteDegradedDetourDelivers kills the e-cube first hop and checks
+// the fallback still delivers minimally: the detour offers the other
+// differing dimension, every step moves strictly closer, and the walk
+// ends at dst's eject channel in exactly the minimal hop count.
+func TestRouteDegradedDetourDelivers(t *testing.T) {
+	m := New2D(8, 8)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(8*3+5) // (0,0) -> (5,3)
+	pref := m.Route(m.InjectChannel(src), src, dst, nil)
+	if len(pref) != 1 {
+		t.Fatalf("e-cube routing returned %d candidates", len(pref))
+	}
+	dead := deadSet(pref[0])
+
+	cur := m.InjectChannel(src)
+	manhattan := 5 + 3
+	for hop := 0; ; hop++ {
+		if hop > manhattan {
+			t.Fatalf("detoured walk exceeded the minimal %d hops", manhattan)
+		}
+		cands := m.RouteDegraded(cur, src, dst, dead, nil)
+		if len(cands) == 0 {
+			t.Fatalf("unreachable after killing one of two minimal directions at %s", m.DescribeChannel(cur))
+		}
+		for _, c := range cands {
+			if dead(c) {
+				t.Fatalf("RouteDegraded offered dead channel %s", m.DescribeChannel(c))
+			}
+		}
+		if cands[0] == m.EjectChannel(dst) {
+			if hop != manhattan {
+				t.Fatalf("delivered in %d hops, want minimal %d", hop, manhattan)
+			}
+			break
+		}
+		cur = cands[0]
+	}
+}
+
+// TestRouteDegradedUnreachable exhausts the candidate sets at the source
+// router: killing everything RouteDegraded offers, round after round,
+// must reach the empty set (the unreachable verdict) after the two
+// minimal directions, never offering a dead channel along the way.
+func TestRouteDegradedUnreachable(t *testing.T) {
+	m := New2D(8, 8)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(8*7+7)
+	killed := map[wormhole.ChannelID]bool{}
+	dead := func(c wormhole.ChannelID) bool { return killed[c] }
+	cur := m.InjectChannel(src)
+	for round := 0; ; round++ {
+		if round > 4 {
+			t.Fatal("candidate sets did not exhaust")
+		}
+		cands := m.RouteDegraded(cur, src, dst, dead, nil)
+		if len(cands) == 0 {
+			if round < 2 {
+				t.Fatalf("unreachable after only %d rounds; both minimal directions should be offered", round)
+			}
+			return
+		}
+		for _, c := range cands {
+			if killed[c] {
+				t.Fatalf("round %d offered already-dead %s", round, m.DescribeChannel(c))
+			}
+			killed[c] = true
+		}
+	}
+}
+
+// TestRouteDegradedDeadEject: a dead ejection channel at the destination
+// router yields the empty set, not a panic — the worm is unreachable one
+// hop from home.
+func TestRouteDegradedDeadEject(t *testing.T) {
+	m := New2D(4, 4)
+	dst := wormhole.NodeID(5)
+	got := m.RouteDegraded(m.InjectChannel(dst), dst, dst, deadSet(m.EjectChannel(dst)), nil)
+	if len(got) != 0 {
+		t.Fatalf("dead eject channel still routed: %v", got)
+	}
+}

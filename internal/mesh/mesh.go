@@ -265,6 +265,58 @@ func (m *Mesh) Route(cur wormhole.ChannelID, src, dst wormhole.NodeID, buf []wor
 	panic("mesh: unreachable — here != dst but all coordinates equal")
 }
 
+// RouteDegraded implements wormhole.FaultRouter with minimal-adaptive
+// detours: the e-cube candidate keeps absolute preference — while it is
+// live it is returned alone, so a fabric whose faults miss this path
+// routes exactly as Route does — and only when it is dead are the other
+// differing dimensions' minimal-direction links offered (in dimension
+// order). Every fallback still moves strictly closer to dst, so detoured
+// worms cannot livelock; the price of abandoning strict dimension order
+// is that adaptive minimal routing can in principle deadlock under
+// extreme contention, which the run watchdog (mcastsim) turns into a
+// diagnosable error rather than a hang. An empty result means every
+// minimal direction out of this router is dead: dst is unreachable.
+func (m *Mesh) RouteDegraded(cur wormhole.ChannelID, src, dst wormhole.NodeID, dead func(wormhole.ChannelID) bool, buf []wormhole.ChannelID) []wormhole.ChannelID {
+	here := m.routerAt(cur)
+	if here == dst {
+		if e := m.EjectChannel(dst); !dead(e) {
+			return append(buf, e)
+		}
+		return buf
+	}
+	u, v := int(here), int(dst)
+	for d := 0; d < len(m.dims); d++ {
+		cu, cv := m.coord(u, d), m.coord(v, d)
+		if cu == cv {
+			continue
+		}
+		s := 0
+		if cv > cu {
+			s = 1
+		}
+		if c := m.link[m.linkIdx(u, d, s)]; !dead(c) {
+			return append(buf, c)
+		}
+		// The e-cube candidate is dead: fall back to the remaining
+		// differing dimensions' minimal links.
+		for d2 := d + 1; d2 < len(m.dims); d2++ {
+			cu2, cv2 := m.coord(u, d2), m.coord(v, d2)
+			if cu2 == cv2 {
+				continue
+			}
+			s2 := 0
+			if cv2 > cu2 {
+				s2 = 1
+			}
+			if c := m.link[m.linkIdx(u, d2, s2)]; !dead(c) {
+				buf = append(buf, c)
+			}
+		}
+		return buf
+	}
+	panic("mesh: unreachable — here != dst but all coordinates equal")
+}
+
 // DescribeChannel implements wormhole.Topology.
 func (m *Mesh) DescribeChannel(c wormhole.ChannelID) string {
 	ci := int(c)
@@ -281,4 +333,7 @@ func (m *Mesh) DescribeChannel(c wormhole.ChannelID) string {
 	}
 }
 
-var _ wormhole.Topology = (*Mesh)(nil)
+var (
+	_ wormhole.Topology    = (*Mesh)(nil)
+	_ wormhole.FaultRouter = (*Mesh)(nil)
+)

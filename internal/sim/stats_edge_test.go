@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStatsSmallSamples pins the degenerate-sample contract the fault
+// sweeps rely on: cells can end with zero or one surviving run (the rest
+// unreachable or watchdog-aborted), and every spread estimator must then
+// report exactly 0 — never NaN, which would poison table rendering and
+// any downstream arithmetic.
+func TestStatsSmallSamples(t *testing.T) {
+	check := func(name string, s *Stats) {
+		t.Helper()
+		for label, v := range map[string]float64{
+			"Var": s.Var(), "StdDev": s.StdDev(), "StdErr": s.StdErr(), "CI95": s.CI95(),
+		} {
+			if math.IsNaN(v) {
+				t.Errorf("%s: %s is NaN", name, label)
+			}
+			if v != 0 {
+				t.Errorf("%s: %s = %g, want 0", name, label, v)
+			}
+		}
+	}
+
+	var empty Stats
+	check("n=0", &empty)
+	if empty.N() != 0 || empty.Mean() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Errorf("empty Stats not all-zero: %s", &empty)
+	}
+
+	var one Stats
+	one.Add(42)
+	check("n=1", &one)
+	if one.N() != 1 || one.Mean() != 42 || one.Min() != 42 || one.Max() != 42 {
+		t.Errorf("single-sample Stats wrong: %s", &one)
+	}
+
+	// Two equal samples: spread is genuinely zero, still no NaN.
+	var flat Stats
+	flat.Add(7)
+	flat.Add(7)
+	check("n=2 equal", &flat)
+
+	// From n=2 on, the estimators must become positive for spread data.
+	var two Stats
+	two.Add(1)
+	two.Add(3)
+	if two.Var() != 2 {
+		t.Errorf("Var of {1,3} = %g, want 2", two.Var())
+	}
+	if two.StdErr() <= 0 || two.CI95() <= 0 {
+		t.Errorf("spread estimators not positive at n=2: stderr=%g ci=%g", two.StdErr(), two.CI95())
+	}
+}
+
+// TestMedianEdgeCases: the empty slice reports 0 (not a panic or NaN),
+// and the input is never reordered.
+func TestMedianEdgeCases(t *testing.T) {
+	if m := Median(nil); m != 0 {
+		t.Errorf("Median(nil) = %g, want 0", m)
+	}
+	if m := Median([]float64{}); m != 0 {
+		t.Errorf("Median(empty) = %g, want 0", m)
+	}
+	if m := Median([]float64{5}); m != 5 {
+		t.Errorf("Median({5}) = %g, want 5", m)
+	}
+	xs := []float64{3, 1, 2}
+	if m := Median(xs); m != 2 {
+		t.Errorf("Median({3,1,2}) = %g, want 2", m)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median reordered its input: %v", xs)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %g, want 2.5", m)
+	}
+}

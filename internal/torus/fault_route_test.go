@@ -1,0 +1,143 @@
+package torus_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/torus"
+	"repro/internal/wormhole"
+)
+
+func noDead(wormhole.ChannelID) bool { return false }
+
+func deadSet(chans ...wormhole.ChannelID) func(wormhole.ChannelID) bool {
+	m := map[wormhole.ChannelID]bool{}
+	for _, c := range chans {
+		m[c] = true
+	}
+	return func(c wormhole.ChannelID) bool { return m[c] }
+}
+
+// TestRouteDegradedHealthyEqualsRoute: with no dead channels the
+// fault-aware router must reproduce the dimension-ordered dateline route
+// exactly, at every hop of every pair — the healthy-path invariant that
+// keeps golden tables byte-identical when a fault model is merely
+// installed.
+func TestRouteDegradedHealthyEqualsRoute(t *testing.T) {
+	tr := torus.New2D(5, 4)
+	for s := 0; s < tr.NumNodes(); s++ {
+		for d := 0; d < tr.NumNodes(); d++ {
+			if s == d {
+				continue
+			}
+			src, dst := wormhole.NodeID(s), wormhole.NodeID(d)
+			cur := tr.InjectChannel(src)
+			for hops := 0; ; hops++ {
+				if hops > 2*tr.NumNodes() {
+					t.Fatalf("%d->%d: walk did not terminate", s, d)
+				}
+				want := tr.Route(cur, src, dst, nil)
+				got := tr.RouteDegraded(cur, src, dst, noDead, nil)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%d->%d at %s: RouteDegraded %v != Route %v",
+						s, d, tr.DescribeChannel(cur), got, want)
+				}
+				if want[0] == tr.EjectChannel(dst) {
+					break
+				}
+				cur = want[0]
+			}
+		}
+	}
+}
+
+// physicalHop strips the virtual-channel suffix from a link description
+// ("link((0 0)->(1 0),vc1)" -> "link((0 0)->(1 0)"), identifying the
+// physical link a VC belongs to.
+func physicalHop(t *testing.T, tr *torus.Torus, c wormhole.ChannelID) string {
+	t.Helper()
+	desc := tr.DescribeChannel(c)
+	i := strings.LastIndex(desc, ",vc")
+	if i < 0 {
+		t.Fatalf("%s is not a link channel", desc)
+	}
+	return desc[:i]
+}
+
+// TestRouteDegradedOtherVCFallback: when the dateline-correct virtual
+// channel dies, the first fallback must be the other VC of the same
+// physical hop — same neighbour, still minimal — ahead of any detour
+// into other dimensions.
+func TestRouteDegradedOtherVCFallback(t *testing.T) {
+	tr := torus.New2D(8, 8)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(8*3+3)
+	pref := tr.Route(tr.InjectChannel(src), src, dst, nil)
+	if len(pref) != 1 {
+		t.Fatalf("dateline routing returned %d candidates", len(pref))
+	}
+	cands := tr.RouteDegraded(tr.InjectChannel(src), src, dst, deadSet(pref[0]), nil)
+	if len(cands) == 0 {
+		t.Fatal("no fallback for a single dead VC")
+	}
+	if cands[0] == pref[0] {
+		t.Fatal("dead preferred VC still offered")
+	}
+	if got, want := physicalHop(t, tr, cands[0]), physicalHop(t, tr, pref[0]); got != want {
+		t.Fatalf("first fallback is %s, want the other VC of %s", got, want)
+	}
+}
+
+// TestRouteDegradedNoWrongWay: on a pair differing in exactly one
+// dimension, killing both VCs of the minimal hop leaves nothing — the
+// router must refuse the non-minimal wrong-way hop (which could ping-pong
+// forever) and report unreachable instead.
+func TestRouteDegradedNoWrongWay(t *testing.T) {
+	tr := torus.New2D(8, 8)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(3) // same row
+	cur := tr.InjectChannel(src)
+	pref := tr.Route(cur, src, dst, nil)
+	other := tr.RouteDegraded(cur, src, dst, deadSet(pref[0]), nil)
+	if len(other) == 0 {
+		t.Fatal("other VC not offered")
+	}
+	got := tr.RouteDegraded(cur, src, dst, deadSet(pref[0], other[0]), nil)
+	if len(got) != 0 {
+		t.Fatalf("both VCs dead but still routed: %v (wrong-way detour?)", got)
+	}
+}
+
+// TestRouteDegradedDetourDelivers kills the preferred first hop of a
+// two-dimension pair and walks the fallback route to delivery, checking
+// every offered candidate is live and the walk stays minimal.
+func TestRouteDegradedDetourDelivers(t *testing.T) {
+	tr := torus.New2D(8, 8)
+	src, dst := wormhole.NodeID(0), wormhole.NodeID(8*2+3) // (0,0)->(3,2), wrap-free
+	prefVC := tr.Route(tr.InjectChannel(src), src, dst, nil)[0]
+	otherVC := tr.RouteDegraded(tr.InjectChannel(src), src, dst, deadSet(prefVC), nil)[0]
+	dead := deadSet(prefVC, otherVC) // whole physical hop dead: force a dimension detour
+
+	cur := tr.InjectChannel(src)
+	minimal := 3 + 2
+	for hop := 0; ; hop++ {
+		if hop > minimal {
+			t.Fatalf("detoured walk exceeded the minimal %d hops", minimal)
+		}
+		cands := tr.RouteDegraded(cur, src, dst, dead, nil)
+		if len(cands) == 0 {
+			t.Fatalf("unreachable at %s with a live detour dimension", tr.DescribeChannel(cur))
+		}
+		for _, c := range cands {
+			if dead(c) {
+				t.Fatalf("RouteDegraded offered dead channel %s", tr.DescribeChannel(c))
+			}
+		}
+		if cands[0] == tr.EjectChannel(dst) {
+			if hop != minimal {
+				t.Fatalf("delivered in %d hops, want minimal %d", hop, minimal)
+			}
+			break
+		}
+		cur = cands[0]
+	}
+}

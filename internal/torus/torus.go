@@ -220,24 +220,91 @@ func (t *Torus) Route(cur wormhole.ChannelID, src, dst wormhole.NodeID, buf []wo
 		// source's coordinate in d. Recomputing it from the current
 		// position could flip direction mid-ring on even-length ties.
 		entry := t.coord(int(src), d)
-		s, _ := t.direction(d, entry, cv)
-		next := t.neighbor(u, d, s)
-		// Dateline: moving up, the wrap is the (m-1)->0 transition, so
-		// the worm has crossed iff its current ring coordinate fell
-		// below the entry coordinate; moving down, symmetric. A full
-		// wrap (next == entry) cannot occur: rides are shorter than m.
-		nc := t.coord(next, d)
-		var crossed bool
-		if s == 1 {
-			crossed = nc < entry
-		} else {
-			crossed = nc > entry
-		}
-		vc := 0
-		if crossed {
-			vc = 1
-		}
+		s, vc := t.hopVC(u, d, entry, cv)
 		return append(buf, t.VCChannel(u, d, s, vc))
+	}
+	panic("torus: unreachable — here != dst but all coordinates equal")
+}
+
+// hopVC returns the direction and dateline-correct virtual channel for
+// correcting dimension d from router u toward dst coordinate cv, where
+// entry is the source's coordinate in d (see Route for why direction is
+// decided from the entry coordinate).
+func (t *Torus) hopVC(u, d, entry, cv int) (s, vc int) {
+	s, _ = t.direction(d, entry, cv)
+	// Dateline: moving up, the wrap is the (m-1)->0 transition, so the
+	// worm has crossed iff its current ring coordinate fell below the
+	// entry coordinate; moving down, symmetric. A full wrap (next ==
+	// entry) cannot occur: rides are shorter than m.
+	nc := t.coord(t.neighbor(u, d, s), d)
+	var crossed bool
+	if s == 1 {
+		crossed = nc < entry
+	} else {
+		crossed = nc > entry
+	}
+	if crossed {
+		vc = 1
+	}
+	return s, vc
+}
+
+// degradedHop appends the live virtual channels for correcting dimension
+// d from router u toward dst coordinate cv: the dateline-correct VC
+// first, then — only as a fault fallback — the other VC of the same
+// physical hop. Both reach the same neighbour, so either keeps the route
+// minimal; taking the off-dateline VC forfeits the Dally deadlock-freedom
+// argument, which on a degraded fabric is the run watchdog's problem, not
+// a reason to declare the destination unreachable.
+func (t *Torus) degradedHop(u, d, entry, cv int, dead func(wormhole.ChannelID) bool, buf []wormhole.ChannelID) []wormhole.ChannelID {
+	s, vc := t.hopVC(u, d, entry, cv)
+	if c := t.VCChannel(u, d, s, vc); !dead(c) {
+		return append(buf, c)
+	}
+	if c := t.VCChannel(u, d, s, vc^1); !dead(c) {
+		return append(buf, c)
+	}
+	return buf
+}
+
+// RouteDegraded implements wormhole.FaultRouter. The dimension-ordered
+// candidate keeps absolute preference — while its VC is live it is
+// returned alone, so Route and RouteDegraded agree whenever the fault set
+// misses the path. When it is dead the fallbacks are, in order: the other
+// virtual channel of the same physical hop, then the remaining differing
+// dimensions (each with its dateline VC first). Every fallback is a
+// minimal hop, so detoured worms cannot livelock; see degradedHop for the
+// deadlock caveat. An empty result means dst is unreachable.
+func (t *Torus) RouteDegraded(cur wormhole.ChannelID, src, dst wormhole.NodeID, dead func(wormhole.ChannelID) bool, buf []wormhole.ChannelID) []wormhole.ChannelID {
+	here := t.routerAt(cur)
+	if here == dst {
+		if e := t.EjectChannel(dst); !dead(e) {
+			return append(buf, e)
+		}
+		return buf
+	}
+	u, v := int(here), int(dst)
+	for d := 0; d < len(t.dims); d++ {
+		cu, cv := t.coord(u, d), t.coord(v, d)
+		if cu == cv {
+			continue
+		}
+		entry := t.coord(int(src), d)
+		s, vc := t.hopVC(u, d, entry, cv)
+		if c := t.VCChannel(u, d, s, vc); !dead(c) {
+			return append(buf, c) // oblivious candidate live: identical to Route
+		}
+		if c := t.VCChannel(u, d, s, vc^1); !dead(c) {
+			buf = append(buf, c)
+		}
+		for d2 := d + 1; d2 < len(t.dims); d2++ {
+			cu2, cv2 := t.coord(u, d2), t.coord(v, d2)
+			if cu2 == cv2 {
+				continue
+			}
+			buf = t.degradedHop(u, d2, t.coord(int(src), d2), cv2, dead, buf)
+		}
+		return buf
 	}
 	panic("torus: unreachable — here != dst but all coordinates equal")
 }
@@ -261,4 +328,5 @@ func (t *Torus) DescribeChannel(c wormhole.ChannelID) string {
 var (
 	_ wormhole.Topology    = (*Torus)(nil)
 	_ wormhole.LinkGrouper = (*Torus)(nil)
+	_ wormhole.FaultRouter = (*Torus)(nil)
 )

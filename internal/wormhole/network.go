@@ -2,6 +2,7 @@ package wormhole
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Config holds the fabric parameters. The zero value is not valid; use
@@ -145,6 +146,10 @@ const (
 	waitNone uint8 = iota
 	waitBlocked
 	waitInject
+	// waitUnreachable is terminal: every routing candidate is dead. It is
+	// not epoch-guarded — dead channels never heal, so the verdict can
+	// never change.
+	waitUnreachable
 )
 
 // Flits returns the worm's total flit count.
@@ -210,6 +215,14 @@ type Network struct {
 	epoch    int64 // bumped on every acquire/release; keys waitState caches
 	progress bool  // the last stepped cycle moved a flit or changed ownership
 
+	// Fault layer (see SetFaults). deadFn and frouter are cached from
+	// faults/topo so routing does not rebind method values per call.
+	faults     FaultModel
+	deadFn     func(ChannelID) bool
+	frouter    FaultRouter
+	faultStall bool // a flit was refused by Up() in the last stepped cycle
+	err        error
+
 	// Worm pooling (see SetRecycling).
 	recycle bool
 	free    []*Worm
@@ -260,6 +273,47 @@ func (n *Network) linkFree(c ChannelID) bool {
 	return true
 }
 
+// chanUp reports whether channel c can accept a flit this cycle under
+// the installed fault model (always true on a healthy fabric).
+func (n *Network) chanUp(c ChannelID) bool {
+	return n.faults == nil || n.faults.Up(c, n.now)
+}
+
+// routeCands returns the live candidate channels for w's header, in
+// preference order, reusing n.routeBuf as scratch. On a faulted fabric it
+// delegates to the topology's FaultRouter when implemented, else filters
+// dead channels out of the oblivious route.
+func (n *Network) routeCands(w *Worm) []ChannelID {
+	last := w.path[len(w.path)-1]
+	if n.frouter != nil {
+		return n.frouter.RouteDegraded(last, w.Src, w.Dst, n.deadFn, n.routeBuf[:0])
+	}
+	cands := n.topo.Route(last, w.Src, w.Dst, n.routeBuf[:0])
+	if n.faults == nil {
+		return cands
+	}
+	live := cands[:0]
+	for _, c := range cands {
+		if !n.faults.Dead(c) {
+			live = append(live, c)
+		}
+	}
+	return live
+}
+
+// markUnreachable freezes a worm whose destination cannot be reached
+// under the installed fault set and records the first such error. Setting
+// faultStall pins the clock to this cycle in StepUntil, so both kernels
+// observe the error at the same Now().
+func (n *Network) markUnreachable(w *Worm, where ChannelID) {
+	w.waitState = waitUnreachable
+	n.faultStall = true
+	if n.err == nil {
+		n.err = fmt.Errorf("wormhole: worm %d (%d->%d) unreachable: no live routing candidate at %s (faulted fabric)",
+			w.ID, w.Src, w.Dst, n.topo.DescribeChannel(where))
+	}
+}
+
 // Topology returns the fabric's topology.
 func (n *Network) Topology() Topology { return n.topo }
 
@@ -276,7 +330,40 @@ func (n *Network) Active() int { return len(n.worms) }
 func (n *Network) Stats() Stats { return n.stats }
 
 // SetObserver installs (or, with nil, removes) a fabric event observer.
+// While an observer is attached, worm recycling (SetRecycling) is
+// suspended: completed worms are left to the garbage collector so the
+// *Worm an observer receives in Complete stays valid if retained.
 func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// SetFaults installs (or, with nil, removes) a fault model, degrading the
+// fabric: dead channels are never routed into (a header with no live
+// candidate freezes and records an unreachable error, see Err), and live
+// channels accept flits only on cycles the model reports Up. The model
+// must be deterministic; both kernels then remain observably equivalent
+// under any fault set. Faults may only change while the fabric is idle.
+func (n *Network) SetFaults(f FaultModel) {
+	if len(n.worms) != 0 {
+		panic("wormhole: SetFaults with active worms")
+	}
+	n.faults = f
+	n.deadFn = nil
+	n.frouter = nil
+	if f != nil {
+		n.deadFn = f.Dead
+		if fr, ok := n.topo.(FaultRouter); ok {
+			n.frouter = fr
+		}
+	}
+}
+
+// Faults returns the installed fault model, or nil on a healthy fabric.
+func (n *Network) Faults() FaultModel { return n.faults }
+
+// Err returns the first unrecoverable routing error — a worm whose every
+// candidate channel is dead (unreachable destination under the installed
+// fault set) — or nil. The stuck worm freezes in place, holding its
+// channels; drivers are expected to check Err and abort.
+func (n *Network) Err() error { return n.err }
 
 // Kernel returns the kernel the network is running.
 func (n *Network) Kernel() Kernel { return n.kernel }
@@ -378,7 +465,11 @@ func (n *Network) StepUntil(limit int64) {
 		panic(fmt.Sprintf("wormhole: StepUntil(%d) not after now=%d", limit, n.now))
 	}
 	n.Step()
-	if n.kernel == KernelReference || n.progress {
+	if n.kernel == KernelReference || n.progress || n.faultStall {
+		// faultStall: some flit was refused by a fault-gated channel this
+		// cycle; the channel's Up() verdict can change at any future cycle,
+		// so "every skipped cycle is an identical stall" does not hold and
+		// the clock must advance one cycle at a time.
 		return
 	}
 	// The cycle just stepped moved nothing and changed no ownership:
@@ -461,6 +552,7 @@ func (n *Network) stepFast() {
 	n.now++
 	n.stats.Cycles++
 	n.progress = false
+	n.faultStall = false
 	// Phase A rotates its starting worm for fairness on shared physical
 	// links; without link sharing, worm order in this phase is
 	// immaterial (channels are owned exclusively and acquisition happens
@@ -512,6 +604,14 @@ func (n *Network) moveFlitsFast(w *Worm) {
 	// Interior hops.
 	for i := last - 1; i >= 0; i-- {
 		if w.occ(i) > 0 && w.occ(i+1) < n.cfg.BufFlits {
+			// A fault-refused move is transient (the channel may come back
+			// up next cycle): treat it like a busy link, not a sleepable
+			// stall, and veto StepUntil's cycle-skipping this cycle.
+			if !n.chanUp(w.path[i+1]) {
+				n.faultStall = true
+				linkBusy = true
+				continue
+			}
 			if !n.linkFree(w.path[i+1]) {
 				linkBusy = true
 				continue
@@ -530,7 +630,10 @@ func (n *Network) moveFlitsFast(w *Worm) {
 	}
 	// Injection from the source interface.
 	if w.injected < w.flits && w.occ(0) < n.cfg.BufFlits {
-		if n.linkFree(w.path[0]) {
+		if !n.chanUp(w.path[0]) {
+			n.faultStall = true
+			linkBusy = true
+		} else if n.linkFree(w.path[0]) {
 			moved = true
 			w.injected++
 			n.stats.FlitHops++
@@ -560,6 +663,9 @@ func (n *Network) routeHeaderFast(w *Worm) {
 	if w.done || w.routed {
 		return
 	}
+	if w.waitState == waitUnreachable {
+		return // terminal: dead channels never heal
+	}
 	if len(w.path) == 0 {
 		if w.waitState == waitInject && w.waitEpoch == n.epoch {
 			w.InjectWaitCycles++
@@ -567,6 +673,10 @@ func (n *Network) routeHeaderFast(w *Worm) {
 		}
 		// Compete for the node's single injection channel.
 		c := n.inject[w.Src]
+		if n.faults != nil && n.faults.Dead(c) {
+			n.markUnreachable(w, c)
+			return
+		}
 		if n.owner[c] == nil {
 			n.acquire(w, c)
 		} else {
@@ -587,7 +697,7 @@ func (n *Network) routeHeaderFast(w *Worm) {
 		}
 		return
 	}
-	cands := n.topo.Route(w.path[last], w.Src, w.Dst, n.routeBuf[:0])
+	cands := n.routeCands(w)
 	n.routeBuf = cands[:0]
 	for _, c := range cands {
 		if n.owner[c] == nil {
@@ -596,6 +706,10 @@ func (n *Network) routeHeaderFast(w *Worm) {
 		}
 	}
 	if len(cands) == 0 {
+		if n.faults != nil {
+			n.markUnreachable(w, w.path[last])
+			return
+		}
 		panic(fmt.Sprintf("wormhole: topology returned no route from %s for %d->%d",
 			n.topo.DescribeChannel(w.path[last]), w.Src, w.Dst))
 	}
@@ -651,9 +765,11 @@ func (n *Network) moveFlits(w *Worm) {
 			n.completed = append(n.completed, w)
 		}
 	}
-	// Interior hops.
+	// Interior hops. chanUp is checked before linkFree so a fault-refused
+	// flit does not claim the physical link (identical order to the fast
+	// kernel).
 	for i := last - 1; i >= 0; i-- {
-		if w.occ(i) > 0 && w.occ(i+1) < n.cfg.BufFlits && n.linkFree(w.path[i+1]) {
+		if w.occ(i) > 0 && w.occ(i+1) < n.cfg.BufFlits && n.chanUp(w.path[i+1]) && n.linkFree(w.path[i+1]) {
 			w.passed[i]++
 			n.stats.FlitHops++
 			if w.entered(i+1) == 1 && i+1 == last && !w.routed {
@@ -666,7 +782,7 @@ func (n *Network) moveFlits(w *Worm) {
 		}
 	}
 	// Injection from the source interface.
-	if w.injected < w.flits && w.occ(0) < n.cfg.BufFlits && n.linkFree(w.path[0]) {
+	if w.injected < w.flits && w.occ(0) < n.cfg.BufFlits && n.chanUp(w.path[0]) && n.linkFree(w.path[0]) {
 		w.injected++
 		n.stats.FlitHops++
 		if w.injected == 1 {
@@ -683,9 +799,16 @@ func (n *Network) routeHeader(w *Worm) {
 	if w.done || w.routed {
 		return
 	}
+	if w.waitState == waitUnreachable {
+		return // terminal: dead channels never heal
+	}
 	if len(w.path) == 0 {
 		// Compete for the node's single injection channel.
 		c := n.inject[w.Src]
+		if n.faults != nil && n.faults.Dead(c) {
+			n.markUnreachable(w, c)
+			return
+		}
 		if n.owner[c] == nil {
 			n.acquire(w, c)
 		} else {
@@ -697,7 +820,7 @@ func (n *Network) routeHeader(w *Worm) {
 	if w.entered(last) == 0 || n.now < w.headerReadyAt {
 		return // header flit not yet at the frontier, or still routing
 	}
-	cands := n.topo.Route(w.path[last], w.Src, w.Dst, n.routeBuf[:0])
+	cands := n.routeCands(w)
 	n.routeBuf = cands[:0]
 	for _, c := range cands {
 		if n.owner[c] == nil {
@@ -706,6 +829,10 @@ func (n *Network) routeHeader(w *Worm) {
 		}
 	}
 	if len(cands) == 0 {
+		if n.faults != nil {
+			n.markUnreachable(w, w.path[last])
+			return
+		}
 		panic(fmt.Sprintf("wormhole: topology returned no route from %s for %d->%d",
 			n.topo.DescribeChannel(w.path[last]), w.Src, w.Dst))
 	}
@@ -767,7 +894,11 @@ func (n *Network) release(w *Worm, i int) {
 // reap removes completed worms, preserving creation order of the rest,
 // then fires arrival callbacks in completion order. With recycling
 // enabled, each worm is pooled for reuse once its callback and Complete
-// event have fired.
+// event have fired — unless an observer is attached: observers may
+// legitimately retain the *Worm passed to Complete (trace.Timeline and
+// trace.BlockLog do), and reusing it would scribble over their records.
+// With an observer, completed worms are simply left to the garbage
+// collector, so SetRecycling(true)+SetObserver is safe, just not pooled.
 func (n *Network) reap() {
 	live := n.worms[:0]
 	for _, w := range n.worms {
@@ -788,7 +919,7 @@ func (n *Network) reap() {
 		if w.onArrive != nil {
 			w.onArrive(w, n.now)
 		}
-		if n.recycle {
+		if n.recycle && n.obs == nil {
 			done[di] = nil
 			n.free = append(n.free, w)
 		}
@@ -797,16 +928,102 @@ func (n *Network) reap() {
 
 // RunUntilIdle steps until no worms are in flight, up to maxCycles. It
 // returns the number of cycles stepped and an error on timeout (which in
-// a correct deadlock-free topology indicates a routing bug).
+// a correct deadlock-free topology indicates a routing bug) or as soon as
+// a fault-induced unreachable destination is recorded (see Err) — a
+// frozen worm never completes, so waiting out the deadline would be
+// pointless.
 func (n *Network) RunUntilIdle(maxCycles int64) (int64, error) {
 	start := n.now
 	for len(n.worms) > 0 {
+		if n.err != nil {
+			return n.now - start, n.err
+		}
 		if n.now-start >= maxCycles {
 			return n.now - start, fmt.Errorf("wormhole: network not idle after %d cycles (%d worms in flight)", maxCycles, len(n.worms))
 		}
 		n.StepUntil(start + maxCycles)
 	}
+	if n.err != nil {
+		return n.now - start, n.err
+	}
 	return n.now - start, nil
+}
+
+// DeadlockReport renders a deterministic diagnosis of a stuck fabric:
+// the hottest blocked channel (the one the most frozen headers want,
+// ties to the lowest channel ID), followed by up to max per-worm lines in
+// creation order describing what each active worm is waiting for. It is
+// read-only and safe to call at any cycle; drivers call it when a
+// watchdog fires so the error names the culprits instead of just "timed
+// out".
+func (n *Network) DeadlockReport(max int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d worms in flight at cycle %d", len(n.worms), n.now)
+	waiters := make([]int32, n.topo.NumChannels())
+	lines := 0
+	line := func(format string, args ...any) {
+		if lines < max {
+			b.WriteString("\n  ")
+			fmt.Fprintf(&b, format, args...)
+		}
+		lines++
+	}
+	for _, w := range n.worms {
+		switch {
+		case w.waitState == waitUnreachable:
+			line("worm %d (%d->%d): unreachable, frozen holding %d channels", w.ID, w.Src, w.Dst, len(w.path))
+		case len(w.path) == 0:
+			c := n.inject[w.Src]
+			if h := n.owner[c]; h != nil {
+				waiters[c]++
+				line("worm %d (%d->%d): waiting to inject; %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c), h.ID)
+			} else {
+				line("worm %d (%d->%d): not yet injected", w.ID, w.Src, w.Dst)
+			}
+		case w.routed:
+			line("worm %d (%d->%d): routed, draining %d channels", w.ID, w.Src, w.Dst, len(w.path))
+		case w.entered(len(w.path)-1) == 0 || n.now < w.headerReadyAt:
+			// The worm owns its frontier channel but flits have not entered
+			// it (router delay, or a fault gate refusing them); it is what
+			// the worm is waiting on, so it counts toward the hot channel.
+			c := w.path[len(w.path)-1]
+			waiters[c]++
+			line("worm %d (%d->%d): header in flight toward %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c))
+		default:
+			cands := n.routeCands(w)
+			if len(cands) == 0 {
+				line("worm %d (%d->%d): no live routing candidate at %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(w.path[len(w.path)-1]))
+				break
+			}
+			free := ChannelID(-1)
+			for _, c := range cands {
+				if n.owner[c] != nil {
+					waiters[c]++
+				} else if free < 0 {
+					free = c
+				}
+			}
+			if free >= 0 {
+				line("worm %d (%d->%d): header ready, can advance into %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(free))
+				break
+			}
+			cand, hold := n.blame(cands)
+			line("worm %d (%d->%d): blocked; wants %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(cand), hold.ID)
+		}
+	}
+	if lines > max {
+		fmt.Fprintf(&b, "\n  ... and %d more", lines-max)
+	}
+	hot, hotCount := ChannelID(-1), int32(0)
+	for c, k := range waiters {
+		if k > hotCount {
+			hot, hotCount = ChannelID(c), k
+		}
+	}
+	if hot >= 0 {
+		fmt.Fprintf(&b, "\n  hottest blocked channel: %s (%d waiting headers)", n.topo.DescribeChannel(hot), hotCount)
+	}
+	return b.String()
 }
 
 // Quiesced verifies the post-run invariants: no active worms and every

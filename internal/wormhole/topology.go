@@ -76,6 +76,38 @@ type LinkGrouper interface {
 	LinkOf(c ChannelID) int
 }
 
+// FaultModel describes a degraded fabric. Implementations must be pure
+// functions of their arguments (no clocks, no mutation), so that both
+// scheduling kernels — and repeated runs — observe identical behaviour.
+// Package fault provides the seeded, deterministic implementation.
+type FaultModel interface {
+	// Dead reports a permanently failed channel. The routing layer never
+	// acquires a dead channel; a header whose every candidate is dead is
+	// an unreachable destination (see Network.Err).
+	Dead(c ChannelID) bool
+	// Up reports whether channel c can accept a flit at cycle now. It is
+	// consulted only for live (non-dead) channels and models degraded
+	// bandwidth and transient outages. It must be deterministic in
+	// (c, now).
+	Up(c ChannelID, now int64) bool
+}
+
+// FaultRouter is optionally implemented by topologies that can route
+// around dead channels. RouteDegraded plays the role of Route on a
+// faulted fabric: it returns candidate next channels in preference order,
+// none of them dead, with the healthy preferred candidate first — when no
+// candidate channel is dead it must return exactly what Route returns,
+// so a fabric with faults installed but none on the path behaves
+// identically to a healthy one. An empty result means the destination is
+// unreachable from this router under the fault set.
+//
+// Topologies that do not implement FaultRouter still work on a faulted
+// fabric: the simulator filters dead channels out of Route's candidates,
+// losing only the topology-specific detours.
+type FaultRouter interface {
+	RouteDegraded(cur ChannelID, src, dst NodeID, dead func(ChannelID) bool, buf []ChannelID) []ChannelID
+}
+
 // PathChannels is a convenience for tests and analysis: it returns the
 // deterministic route a worm would take from src to dst on an otherwise
 // idle network (always taking the first routing candidate), starting with
