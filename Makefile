@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check bench bench-smoke fault-smoke ci
+.PHONY: all build test race lint vet fmt fmt-check bench bench-smoke fault-smoke recover-smoke ci
 
 all: build
 
@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-bearing packages (the deterministic
-# fan-out harness, the concurrent multicast simulator, and the fault
-# plans shared read-only across sweep workers).
+# fan-out harness, the concurrent multicast simulator, the fault plans
+# shared read-only across sweep workers, and the recovery layer the
+# sweeps fan out over).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mcastsim/... ./internal/fault/...
+	$(GO) test -race ./internal/sim/... ./internal/mcastsim/... ./internal/fault/... ./internal/recover/...
 
 vet:
 	$(GO) vet ./...
@@ -52,4 +53,10 @@ bench-smoke:
 fault-smoke:
 	$(GO) run ./cmd/mcastbench -fig f1 -trials 2
 
-ci: fmt-check build test lint race bench-smoke fault-smoke
+# Reliable-delivery smoke: the F2 recovery tables at low trial count,
+# exercising timeout/retransmit, tree repair, the binomial fallback and
+# the reachability oracle through the real CLI path.
+recover-smoke:
+	$(GO) run ./cmd/mcastbench -fig f2 -trials 2
+
+ci: fmt-check build test lint race bench-smoke fault-smoke recover-smoke

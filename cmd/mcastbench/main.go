@@ -8,7 +8,7 @@
 //	mcastbench -fig all -csv     # everything, machine readable
 //	mcastbench -fig 3 -trials 4  # quicker, noisier
 //
-// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, all.
+// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, all.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, all")
 		trials  = flag.Int("trials", 16, "random placements per data point (the paper uses 16)")
 		seed    = flag.Uint64("seed", 1997, "PRNG seed")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -140,9 +140,24 @@ func run(fig string, trials int, seed uint64, workers int, csv, chart bool) erro
 			// no run delivers. Sweep the transition region.
 			return emit(exp.FaultSweep(meshSuite(), bminSuite(), 32, 4096, []int{0, 1, 2, 3, 4, 5}, seed))
 		},
+		"f2": func() error {
+			// The same fault plans as F1, now with the recovery layer on:
+			// completion latency, delivered fraction vs the reachability
+			// oracle, and the retransmission overhead bought.
+			f2, err := exp.RecoverSweep(meshSuite(), bminSuite(), 32, 4096, []int{0, 1, 2, 3, 4, 5}, seed)
+			if err != nil {
+				return err
+			}
+			for _, t := range []*exp.Table{f2.Latency, f2.Delivered, f2.Overhead} {
+				if err := emit(t, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
 	}
 
-	order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1"}
+	order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2"}
 	if fig == "all" {
 		for _, name := range order {
 			fmt.Printf("==== %s ====\n", name)

@@ -7,6 +7,7 @@
 //	netsim -topo bmin -nodes 128 -algo u-min -k 16 -bytes 65536 -seed 7
 //	netsim -topo bfly -nodes 64 -algo opt-tree -k 24 -bytes 8192 -v
 //	netsim -topo mesh -algo opt -faults 5 -fault-seed 3 -deadline 200000
+//	netsim -topo mesh -algo opt -faults 5 -recover -v
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/mcastsim"
 	"repro/internal/mesh"
 	"repro/internal/model"
+	recov "repro/internal/recover"
 	"repro/internal/sim"
 	"repro/internal/torus"
 	"repro/internal/trace"
@@ -49,6 +51,7 @@ func main() {
 		flaky    = flag.Float64("flaky", 0, "percent of fabric links with periodic transient outages")
 		fseed    = flag.Uint64("fault-seed", 1, "fault plan seed (same seed = same failed links)")
 		deadline = flag.Int64("deadline", 0, "abort the multicast after this many cycles (0 = generous default)")
+		rec      = flag.Bool("recover", false, "run the reliable-delivery layer (timeout/retransmit, tree repair, binomial fallback); requires a fault flag")
 	)
 	flag.Parse()
 
@@ -57,7 +60,7 @@ func main() {
 		k: *k, bytes: *bytes, seed: *seed, addrB: *addrB,
 		verbose: *verbose, gantt: *gantt, heatmap: *heatmap,
 		faults: *faults, degraded: *degraded, flaky: *flaky,
-		faultSeed: *fseed, deadline: *deadline,
+		faultSeed: *fseed, deadline: *deadline, recover: *rec,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
@@ -78,6 +81,7 @@ type options struct {
 	faults, degraded, flaky float64 // percentages of fabric links
 	faultSeed               uint64
 	deadline                int64
+	recover                 bool // reliable delivery instead of plain mcastsim
 }
 
 func run(o options) error {
@@ -128,6 +132,14 @@ func run(o options) error {
 		return fmt.Errorf("-heatmap requires a 2-D mesh fabric, not %q (use -trace for per-channel reports on other topologies)", topoName)
 	}
 
+	for _, p := range []struct {
+		name string
+		pct  float64
+	}{{"-faults", o.faults}, {"-degraded", o.degraded}, {"-flaky", o.flaky}} {
+		if p.pct < 0 || p.pct > 100 {
+			return fmt.Errorf("%s=%g outside [0,100] (a percentage of fabric links)", p.name, p.pct)
+		}
+	}
 	var plan *fault.Plan
 	if o.faults > 0 || o.degraded > 0 || o.flaky > 0 {
 		var err error
@@ -140,6 +152,9 @@ func run(o options) error {
 		if err != nil {
 			return err
 		}
+	}
+	if o.recover && plan == nil {
+		return fmt.Errorf("-recover needs something to recover from: set -faults, -degraded or -flaky")
 	}
 
 	soft := model.DefaultSoftware()
@@ -188,9 +203,17 @@ func run(o options) error {
 	}
 	mainCfg := runCfg
 	mainCfg.MaxCycles = o.deadline
-	res, err := mcastsim.Run(net, tab, ch, root, bytes, mainCfg)
-	if err != nil {
-		return err
+	printTraces := func() {
+		if o.gantt {
+			fmt.Println("\nmessage timeline ('!' marks blocked messages):")
+			fmt.Print(timeline.Gantt(64))
+			fmt.Println("\nhottest channels:")
+			fmt.Print(usage.Report(10))
+		}
+		if o.heatmap && theMesh != nil {
+			fmt.Println()
+			fmt.Print(trace.MeshHeatmap(theMesh, usage))
+		}
 	}
 
 	fmt.Printf("fabric: %s (%d nodes)   algorithm: %s   k=%d   message=%d bytes\n",
@@ -200,6 +223,49 @@ func run(o options) error {
 	}
 	fmt.Printf("measured parameters: t_hold=%d  t_end=%d  (ratio %.3f)\n",
 		thold, tend, float64(thold)/float64(tend))
+
+	if o.recover {
+		res, err := recov.Run(net, tab, ch, root, bytes, recov.Config{
+			Sim:  mainCfg,
+			TEnd: tend,
+			Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+		var counts [4]int
+		for i, s := range res.Status {
+			if i != root {
+				counts[s]++
+			}
+		}
+		oh := res.Overhead
+		fmt.Printf("completion latency:  %d cycles\n", res.Latency)
+		fmt.Printf("delivered:           %d/%d destinations (%d first-try, %d retried, %d adopted, %d abandoned)\n",
+			res.Delivered, k-1, counts[mcastsim.StatusDelivered], counts[mcastsim.StatusRetried],
+			counts[mcastsim.StatusAdopted], counts[mcastsim.StatusAbandoned])
+		fmt.Printf("messages sent:       %d (retransmits %d, repair sends %d, orphan sends %d, cancelled %d)\n",
+			oh.Sends, oh.Retransmits, oh.RepairSends, oh.OrphanSends, oh.Cancelled)
+		fmt.Printf("give-ups (repairs):  %d\n", oh.Repairs)
+		if res.FallbackAt >= 0 {
+			fmt.Printf("policy:              fell back to binomial over survivors at cycle %d\n", res.FallbackAt)
+		} else {
+			fmt.Printf("policy:              %s tree throughout (no binomial fallback)\n", algoName)
+		}
+		fmt.Printf("contention:          %d blocked header cycles\n", res.BlockedCycles)
+		fmt.Printf("one-port wait:       %d cycles\n", res.InjectWaitCycles)
+		fmt.Printf("fabric cycles:       %d\n", res.Cycles)
+		if verbose {
+			printRecoveredDeliveries(ch, res)
+		}
+		printTraces()
+		return nil
+	}
+
+	res, err := mcastsim.Run(net, tab, ch, root, bytes, mainCfg)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("multicast latency:   %d cycles\n", res.Latency)
 	fmt.Printf("messages sent:       %d\n", res.Worms)
 	fmt.Printf("contention:          %d blocked header cycles\n", res.BlockedCycles)
@@ -221,19 +287,38 @@ func run(o options) error {
 			fmt.Printf("  %4d: %d\n", d.node, d.at)
 		}
 	}
-	if o.gantt {
-		fmt.Println("\nmessage timeline ('!' marks blocked messages):")
-		fmt.Print(timeline.Gantt(64))
-		fmt.Println("\nhottest channels:")
-		fmt.Print(usage.Report(10))
+	printTraces()
+	return nil
+}
+
+// printRecoveredDeliveries lists every chain member in delivery order
+// with its recovery status; abandoned members sort last.
+func printRecoveredDeliveries(ch chain.Chain, res recov.Result) {
+	type del struct {
+		node   int
+		at     int64
+		status mcastsim.DestStatus
 	}
-	if o.heatmap {
-		if theMesh == nil {
-			fmt.Println("\n(heatmap is only available for mesh fabrics)")
+	var ds []del
+	for i, d := range res.Deliveries {
+		ds = append(ds, del{node: ch[i], at: d, status: res.Status[i]})
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		ai, aj := ds[i].at, ds[j].at
+		if (ai < 0) != (aj < 0) {
+			return aj < 0 // delivered before abandoned
+		}
+		if ai != aj {
+			return ai < aj
+		}
+		return ds[i].node < ds[j].node
+	})
+	fmt.Println("\ndeliveries (node: cycle status):")
+	for _, d := range ds {
+		if d.at < 0 {
+			fmt.Printf("  %4d: -     %s\n", d.node, d.status)
 		} else {
-			fmt.Println()
-			fmt.Print(trace.MeshHeatmap(theMesh, usage))
+			fmt.Printf("  %4d: %-6d%s\n", d.node, d.at, d.status)
 		}
 	}
-	return nil
 }

@@ -147,6 +147,69 @@ func TestAddrBytesFlag(t *testing.T) {
 	}
 }
 
+func TestRecoverCompletesWherePlainRunFails(t *testing.T) {
+	// The TestFaultsCanPartition configuration: plain mcastsim aborts with
+	// an unreachable destination. Recovery must instead finish the run and
+	// account for every destination.
+	o := base()
+	o.faults, o.faultSeed, o.recover = 2, 1, true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatalf("recovery errored where it must complete: %v", err)
+	}
+	for _, want := range []string{"delivered:", "give-ups (repairs):", "policy:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in recovery report:\n%s", want, out)
+		}
+	}
+	again, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != out {
+		t.Fatalf("recovered run not reproducible:\n--- first\n%s\n--- second\n%s", out, again)
+	}
+}
+
+func TestRecoverVerboseStatuses(t *testing.T) {
+	o := base()
+	o.faults, o.faultSeed, o.recover, o.verbose = 8, 3, true, true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cycle status") || !strings.Contains(out, "delivered") {
+		t.Fatalf("verbose recovery output missing statuses:\n%s", out)
+	}
+}
+
+func TestRecoverRequiresFaults(t *testing.T) {
+	o := base()
+	o.recover = true
+	_, err := capture(t, func() error { return run(o) })
+	if err == nil || !strings.Contains(err.Error(), "-recover needs something to recover from") {
+		t.Fatalf("want explicit -recover/-faults coupling error, got %v", err)
+	}
+}
+
+func TestFaultPercentValidation(t *testing.T) {
+	for name, mut := range map[string]func(*options){
+		"negative faults":   func(o *options) { o.faults = -1 },
+		"faults over 100":   func(o *options) { o.faults = 101 },
+		"negative degraded": func(o *options) { o.degraded = -0.5 },
+		"degraded over 100": func(o *options) { o.degraded = 200 },
+		"negative flaky":    func(o *options) { o.flaky = -3 },
+		"flaky over 100":    func(o *options) { o.flaky = 100.5 },
+	} {
+		o := base()
+		mut(&o)
+		_, err := capture(t, func() error { return run(o) })
+		if err == nil || !strings.Contains(err.Error(), "outside [0,100]") {
+			t.Errorf("%s: want a range error, got %v", name, err)
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	for name, mut := range map[string]func(*options){
 		"bad topo":   func(o *options) { o.topo = "ring" },

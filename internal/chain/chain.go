@@ -65,6 +65,23 @@ func (c Chain) Sorted(less func(a, b int) bool) bool {
 	return sort.SliceIsSorted(c, func(i, j int) bool { return less(c[i], c[j]) })
 }
 
+// Select returns the sub-chain of the addresses at the given positions,
+// in the order given. Passing positions in ascending chain order yields a
+// chain sorted under the same architecture order as the original — the
+// property the repair planner relies on when it re-plans over survivors
+// (see plan.RepairSends). Select panics on an out-of-range position: the
+// caller computed the positions, so a bad one is a planner bug.
+func (c Chain) Select(pos []int) Chain {
+	sub := make(Chain, len(pos))
+	for i, p := range pos {
+		if p < 0 || p >= len(c) {
+			panic(fmt.Sprintf("chain: Select position %d outside chain of %d", p, len(c)))
+		}
+		sub[i] = c[p]
+	}
+	return sub
+}
+
 // Segment is a contiguous, inclusive index range [L, R] of a chain, the
 // unit of responsibility the planners subdivide.
 type Segment struct{ L, R int }
@@ -83,3 +100,14 @@ func (s Segment) Overlaps(o Segment) bool { return s.L <= o.R && o.L <= s.R }
 func (s Segment) Valid(n int) bool { return 0 <= s.L && s.L <= s.R && s.R < n }
 
 func (s Segment) String() string { return fmt.Sprintf("[%d,%d]", s.L, s.R) }
+
+// Positions expands the segment to its list of chain positions in
+// ascending order — the contiguous special case of the position sets the
+// repair planner works over once members start dying.
+func (s Segment) Positions() []int {
+	pos := make([]int, s.Len())
+	for i := range pos {
+		pos[i] = s.L + i
+	}
+	return pos
+}

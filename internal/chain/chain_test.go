@@ -122,3 +122,49 @@ func TestSegmentOverlapQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSelect: Select picks sub-chains by position, preserves the given
+// order, keeps sortedness for ascending positions, and panics on bad
+// positions.
+func TestSelect(t *testing.T) {
+	less := func(a, b int) bool { return a < b }
+	c := New([]int{50, 10, 40, 20, 30}, less) // 10 20 30 40 50
+	sub := c.Select([]int{0, 2, 4})
+	want := []int{10, 30, 50}
+	for i := range want {
+		if sub[i] != want[i] {
+			t.Fatalf("Select = %v, want %v", sub, want)
+		}
+	}
+	if !sub.Sorted(less) {
+		t.Fatal("ascending Select lost sortedness")
+	}
+	rev := c.Select([]int{4, 0})
+	if rev[0] != 50 || rev[1] != 10 {
+		t.Fatalf("Select did not preserve given order: %v", rev)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Select with out-of-range position did not panic")
+		}
+	}()
+	c.Select([]int{5})
+}
+
+// TestSegmentPositions: Positions expands inclusive bounds correctly,
+// including the single-element segment.
+func TestSegmentPositions(t *testing.T) {
+	got := Segment{L: 3, R: 6}.Positions()
+	want := []int{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Positions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Positions = %v, want %v", got, want)
+		}
+	}
+	if one := (Segment{L: 2, R: 2}).Positions(); len(one) != 1 || one[0] != 2 {
+		t.Fatalf("single-element Positions = %v", one)
+	}
+}

@@ -1,0 +1,235 @@
+package exp
+
+// Experiment F2: reliable delivery under faults. F1 measures what the
+// tuned trees deliver with no help — past a few percent dead links
+// almost every run loses some destination. F2 reruns the same seeded
+// fault plans through the recovery layer (internal/recover: per-send
+// timeout + retransmit, OPT-tree repair over the surviving chain,
+// binomial fallback) and reports the cost of completing anyway: the
+// completion latency, the fraction of destinations delivered next to
+// the graph-reachability ceiling, and the retransmission overhead.
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/fault"
+	"repro/internal/model"
+	recov "repro/internal/recover"
+	"repro/internal/sim"
+	"repro/internal/wormhole"
+)
+
+// F2Tables bundles the three views of experiment F2 over one sweep.
+type F2Tables struct {
+	// Latency is completion latency (last successful delivery) vs % dead
+	// links. Unlike F1, every run contributes: there are no failed runs
+	// to exclude, only abandoned (provably cut off) destinations, which
+	// do not extend the latency.
+	Latency *Table
+	// Delivered is the delivered fraction of destinations (percent) next
+	// to the reachability-oracle ceiling per fabric — the headline claim
+	// is that the two sets of curves coincide.
+	Delivered *Table
+	// Overhead is the recovery premium per run: retransmits + repair
+	// sends + orphan sends, the messages a fault-free execution would
+	// not have sent.
+	Overhead *Table
+}
+
+// RecoverSweep runs experiment F2: the F1 fault sweep with the recovery
+// layer turned on. Fault plans use the same per-(row, trial) seed
+// formula as FaultSweep, so the two experiments face identical dead-link
+// sets and their tables are directly comparable. pcts are the x values
+// (percent of fabric-internal links made dead, each in [0,100]).
+func RecoverSweep(meshSuite, bminSuite *Suite, k, bytes int, pcts []int, faultSeed uint64) (*F2Tables, error) {
+	for _, p := range pcts {
+		if p < 0 || p > 100 {
+			return nil, fmt.Errorf("exp: fault percentage %d outside [0,100]", p)
+		}
+	}
+	type column struct {
+		suite *Suite
+		algo  Algorithm
+	}
+	cols := []column{
+		{meshSuite, Binomial("U-mesh")},
+		{meshSuite, Opt("OPT-mesh")},
+		{bminSuite, Binomial("U-min")},
+		{bminSuite, Opt("OPT-min")},
+	}
+	trials := meshSuite.Trials
+	if trials <= 0 {
+		trials = 16
+	}
+
+	newTable := func(title, ylabel string, algos []string) *Table {
+		return &Table{
+			Title:      title,
+			XLabel:     "failed links (%)",
+			YLabel:     ylabel,
+			Algorithms: algos,
+		}
+	}
+	algoNames := make([]string, len(cols))
+	for i, c := range cols {
+		algoNames[i] = c.algo.Name
+	}
+	f2 := &F2Tables{
+		Latency: newTable(
+			fmt.Sprintf("F2a: completion latency under recovery vs %% failed links (k=%d, %d-byte messages)", k, bytes),
+			"completion latency (cycles, mean over all runs)", algoNames),
+		Delivered: newTable(
+			fmt.Sprintf("F2b: delivered fraction under recovery vs %% failed links (k=%d, %d-byte messages)", k, bytes),
+			"destinations delivered (%, vs reachability-oracle ceiling)",
+			append(append([]string{}, algoNames...), "reachable (mesh)", "reachable (BMIN)")),
+		Overhead: newTable(
+			fmt.Sprintf("F2c: recovery overhead vs %% failed links (k=%d, %d-byte messages)", k, bytes),
+			"extra messages per run (retransmits + repair sends + orphan sends, mean)", algoNames),
+	}
+
+	// Healthy-fabric calibration, once per suite (as in F1: the tree is
+	// planned for the machine as specified, then recovered on the
+	// degraded one).
+	tends := make([]model.Time, len(cols))
+	for i, c := range cols {
+		if i > 0 && cols[i-1].suite == c.suite {
+			tends[i] = tends[i-1]
+			continue
+		}
+		te, err := c.suite.MeasureTEnd(bytes)
+		if err != nil {
+			return nil, err
+		}
+		tends[i] = te
+		note := fmt.Sprintf("healthy calibration on %s: t_hold(%dB)=%d t_end(%dB)=%d",
+			c.suite.Platform.Name, bytes, c.suite.Software.Hold.At(bytes), bytes, te)
+		f2.Latency.Notes = append(f2.Latency.Notes, note)
+	}
+	f2.Latency.Notes = append(f2.Latency.Notes, fmt.Sprintf("%d random placements per point, placement seed %d, fault seed %d (same plans as F1)",
+		trials, meshSuite.Seed, faultSeed))
+	f2.Delivered.Notes = append(f2.Delivered.Notes,
+		"reachable columns are the graph-reachability oracle (recover.Reachable) on the same fault plans;",
+		"delivered ~= reachable means recovery completes whenever a route exists")
+
+	type job struct{ pi, ci, trial int }
+	var jobs []job
+	for pi := range pcts {
+		for ci := range cols {
+			for tr := 0; tr < trials; tr++ {
+				jobs = append(jobs, job{pi, ci, tr})
+			}
+		}
+	}
+	results := make([]recov.Result, len(jobs))
+	reachFrac := make([]float64, len(jobs)) // valid on each suite's first column
+	errs := make([]error, len(jobs))
+	sim.ForEach(len(jobs), meshSuite.Workers, func(i int) {
+		j := jobs[i]
+		c := cols[j.ci]
+		net := c.suite.Platform.NewNet()
+		var fp *fault.Plan
+		if pct := pcts[j.pi]; pct > 0 {
+			// Same seed formula as F1, independent of the column: the two
+			// mesh algorithms face identical dead-link sets, and F2's plans
+			// match F1's row for row.
+			fp = fault.MustPlan(net.Topology(), fault.Spec{
+				DeadFrac: float64(pct) / 100,
+				Seed:     faultSeed + uint64(j.pi)*0x9e3779b9 + uint64(j.trial)*0x85ebca6b,
+			})
+			net.SetFaults(fp)
+		}
+		addrs := c.suite.placement(j.trial, k)
+		ch := chain.New(addrs, c.suite.Platform.Less)
+		root, ok := ch.Index(addrs[0])
+		if !ok {
+			errs[i] = fmt.Errorf("exp: source %d not in chain", addrs[0])
+			return
+		}
+		thold := c.suite.Software.Hold.At(bytes)
+		tab := c.algo.Table(len(ch), thold, tends[j.ci])
+		res, err := recov.Run(net, tab, ch, root, bytes, recov.Config{
+			Sim:  c.suite.runConfig(),
+			TEnd: tends[j.ci],
+			Seed: faultSeed + uint64(j.pi)*0x9e3779b9 + uint64(j.trial)*0x85ebca6b + uint64(j.ci)*0xc2b2ae35,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = res
+		if j.ci == 0 || cols[j.ci-1].suite != c.suite {
+			// Oracle once per (suite, row, trial) — it depends on the fault
+			// plan and placement, not the algorithm. The 0% row has no plan:
+			// pass a nil interface, not a typed-nil *fault.Plan.
+			var fm wormhole.FaultModel
+			if fp != nil {
+				fm = fp
+			}
+			n := 0
+			for _, ok := range recov.Reachable(net.Topology(), fm, ch, root) {
+				if ok {
+					n++
+				}
+			}
+			reachFrac[i] = 100 * float64(n-1) / float64(len(ch)-1)
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			j := jobs[i]
+			return nil, fmt.Errorf("exp: %s at %d%% trial %d: %w", cols[j.ci].algo.Name, pcts[j.pi], j.trial, err)
+		}
+	}
+
+	type agg struct {
+		lat, frac, over sim.Stats
+		fallbacks       int
+	}
+	aggs := make([]agg, len(pcts)*len(cols))
+	oracle := make([]sim.Stats, len(pcts)*2) // (row, suite) reachable fraction
+	for i, j := range jobs {
+		a := &aggs[j.pi*len(cols)+j.ci]
+		res := &results[i]
+		a.lat.Add(float64(res.Latency))
+		a.frac.Add(100 * float64(res.Delivered) / float64(res.Delivered+res.Abandoned))
+		oh := res.Overhead
+		a.over.Add(float64(oh.Retransmits + oh.RepairSends + oh.OrphanSends))
+		if res.FallbackAt >= 0 {
+			a.fallbacks++
+		}
+		if j.ci == 0 || cols[j.ci-1].suite != cols[j.ci].suite {
+			si := 0
+			if cols[j.ci].suite != meshSuite {
+				si = 1
+			}
+			oracle[j.pi*2+si].Add(reachFrac[i])
+		}
+	}
+	f2.Latency.Rows = make([]Row, len(pcts))
+	f2.Delivered.Rows = make([]Row, len(pcts))
+	f2.Overhead.Rows = make([]Row, len(pcts))
+	for pi, p := range pcts {
+		latRow := Row{X: float64(p), Cells: make([]Cell, len(cols))}
+		delRow := Row{X: float64(p), Cells: make([]Cell, len(cols)+2)}
+		ovrRow := Row{X: float64(p), Cells: make([]Cell, len(cols))}
+		for ci := range cols {
+			a := &aggs[pi*len(cols)+ci]
+			latRow.Cells[ci] = Cell{Mean: a.lat.Mean(), CI95: a.lat.CI95(), N: a.lat.N()}
+			delRow.Cells[ci] = Cell{Mean: a.frac.Mean(), CI95: a.frac.CI95(), N: a.frac.N()}
+			ovrRow.Cells[ci] = Cell{Mean: a.over.Mean(), CI95: a.over.CI95(), N: a.over.N()}
+			if a.fallbacks > 0 {
+				f2.Overhead.Notes = append(f2.Overhead.Notes, fmt.Sprintf("%s at %d%%: %d/%d runs fell back to binomial over survivors",
+					cols[ci].algo.Name, p, a.fallbacks, trials))
+			}
+		}
+		for si := 0; si < 2; si++ {
+			o := &oracle[pi*2+si]
+			delRow.Cells[len(cols)+si] = Cell{Mean: o.Mean(), CI95: o.CI95(), N: o.N()}
+		}
+		f2.Latency.Rows[pi] = latRow
+		f2.Delivered.Rows[pi] = delRow
+		f2.Overhead.Rows[pi] = ovrRow
+	}
+	return f2, nil
+}

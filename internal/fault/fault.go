@@ -13,6 +13,26 @@
 // only on fabric-internal channels, which is also where the routing
 // fallbacks (mesh/torus adaptive detours, BMIN alternate ascent) can do
 // something about them.
+//
+// # Window semantics
+//
+// Time-varying faults are phase-shifted modular windows over the cycle
+// counter, evaluated at flit-acceptance time (wormhole.FaultModel.Up):
+//
+//   - A flaky channel's outage is the half-open prefix of its period:
+//     with local time tl = (now + phase) mod FlakyPeriod, the channel is
+//     down on tl in [0, FlakyDown) and up on tl in [FlakyDown,
+//     FlakyPeriod). Each period thus contains exactly FlakyDown down
+//     cycles, contiguous modulo the period; the boundary cycle tl ==
+//     FlakyDown is the first up cycle, not the last down one. FlakyDown
+//     == 0 never fails and FlakyDown == FlakyPeriod never serves —
+//     both extremes are valid specs.
+//   - A degraded channel serves the single cycle tl == 0 of its Period
+//     and refuses the other Period-1, a 1/Period duty cycle.
+//
+// Phases are drawn per channel at plan construction, so faulted
+// channels do not pulse in lockstep; phase only shifts where a window
+// falls, never its width.
 package fault
 
 import (
@@ -55,7 +75,11 @@ type Spec struct {
 	// FlakyFrac is the fraction with periodic transient outages.
 	FlakyFrac float64
 	// FlakyPeriod and FlakyDown shape the outage window: down for
-	// FlakyDown cycles out of every FlakyPeriod (defaults 64 and 16).
+	// FlakyDown cycles out of every FlakyPeriod (defaults 64 and 16; see
+	// the package comment for the exact window semantics). With an
+	// explicit FlakyPeriod, FlakyDown keeps its literal value, so 0 is an
+	// empty outage window (never down) and FlakyDown == FlakyPeriod a
+	// full one (never up) — both valid extremes.
 	FlakyPeriod int64
 	FlakyDown   int64
 	// Seed selects which channels fail and each channel's phase offset.
@@ -68,9 +92,11 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.FlakyPeriod == 0 {
 		s.FlakyPeriod = 64
-	}
-	if s.FlakyDown == 0 {
-		s.FlakyDown = 16
+		if s.FlakyDown == 0 {
+			// Both unset: the 16/64 default window. An explicit FlakyPeriod
+			// keeps FlakyDown literal, so 0 means never down.
+			s.FlakyDown = 16
+		}
 	}
 	return s
 }

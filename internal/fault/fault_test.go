@@ -177,6 +177,105 @@ func TestSpecValidation(t *testing.T) {
 	MustPlan(topo, Spec{DeadFrac: 2})
 }
 
+// TestFlakyWindowBoundaries pins the half-open window semantics from
+// the package comment at the exact edges: with local time tl =
+// (now+phase) mod FlakyPeriod, the first down cycle is tl == 0, the
+// last is tl == FlakyDown-1, and tl == FlakyDown is already up — so a
+// period holds exactly FlakyDown down cycles, contiguous modulo the
+// period, with exactly two up-transitions of the Up predicate.
+func TestFlakyWindowBoundaries(t *testing.T) {
+	const period, down = 32, 8
+	topo := mesh.New2D(8, 8)
+	p := MustPlan(topo, Spec{FlakyFrac: 0.2, FlakyPeriod: period, FlakyDown: down, Seed: 6})
+	checked := 0
+	for c := 0; c < topo.NumChannels(); c++ {
+		cid := wormhole.ChannelID(c)
+		if p.ClassOf(cid) != Flaky {
+			continue
+		}
+		checked++
+		phase := p.phase[cid]
+		// Edge cycles, expressed in absolute time so the test exercises
+		// Up() exactly as the simulator does. 2*period keeps now+phase
+		// non-negative for any phase in [0, period).
+		at := func(tl int64) int64 { return 2*period + tl - phase }
+		for _, e := range []struct {
+			tl   int64
+			want bool
+		}{
+			{0, false},            // first cycle of the window: down
+			{down - 1, false},     // last down cycle
+			{down, true},          // window edge: half-open, already up
+			{period - 1, true},    // last cycle of the period: up
+			{period, false},       // wraps: next period's first down cycle
+			{period + down, true}, // and its first up cycle
+		} {
+			if got := p.Up(cid, at(e.tl)); got != e.want {
+				t.Fatalf("channel %d (phase %d): Up at local time %d = %v, want %v",
+					c, phase, e.tl, got, e.want)
+			}
+		}
+		// Window shape over one full period: exactly `down` down cycles,
+		// contiguous modulo the period, and exactly two Up-flips.
+		downCount, flips := 0, 0
+		prev := p.Up(cid, at(period-1))
+		for tl := int64(0); tl < period; tl++ {
+			up := p.Up(cid, at(tl))
+			if !up {
+				downCount++
+			}
+			if up != prev {
+				flips++
+			}
+			prev = up
+		}
+		if downCount != down {
+			t.Fatalf("channel %d: %d down cycles per period, want %d", c, downCount, down)
+		}
+		if flips != 2 {
+			t.Fatalf("channel %d: %d Up-transitions per period, want 2 (one contiguous outage)", c, flips)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no flaky channels drawn; boundary test is vacuous")
+	}
+}
+
+// TestFlakyWindowExtremes: FlakyDown == 0 never fails, FlakyDown ==
+// FlakyPeriod never serves — both are valid specs, not errors.
+func TestFlakyWindowExtremes(t *testing.T) {
+	topo := mesh.New2D(4, 4)
+	for _, tc := range []struct {
+		name   string
+		down   int64
+		wantUp bool
+	}{
+		{"never down (empty window)", 0, true},
+		{"always down (full window)", 16, false},
+	} {
+		p := MustPlan(topo, Spec{FlakyFrac: 0.3, FlakyPeriod: 16, FlakyDown: tc.down, Seed: 8})
+		found := false
+		for c := 0; c < topo.NumChannels(); c++ {
+			cid := wormhole.ChannelID(c)
+			if p.ClassOf(cid) != Flaky {
+				continue
+			}
+			found = true
+			for now := int64(0); now < 64; now++ {
+				if up := p.Up(cid, now); up != tc.wantUp {
+					t.Fatalf("%s: flaky channel %d Up(%d) = %v, want %v", tc.name, c, now, up, tc.wantUp)
+				}
+			}
+			if p.Dead(cid) {
+				t.Fatalf("%s: flaky channel %d reported Dead — the fault layer must not promote it", tc.name, c)
+			}
+		}
+		if !found {
+			t.Fatalf("%s: no flaky channels drawn", tc.name)
+		}
+	}
+}
+
 // TestConcurrentReads exercises the immutability contract under the race
 // detector: one Plan shared by many goroutines reading Dead/Up/ClassOf
 // concurrently, as parallel sweep workers do.

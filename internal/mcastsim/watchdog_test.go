@@ -158,3 +158,36 @@ func TestWatchdogQuietOnHealthyRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestDeadlockReportDeduplicatesConvoys: when a convoy of sends piles up
+// behind one silent channel — a sequential tree keeps issuing from the
+// root while the first worm is stuck — the watchdog report must collapse
+// the identical waiters into one line with a count instead of one line
+// per worm, so the diagnostic stays readable at scale.
+func TestDeadlockReportDeduplicatesConvoys(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	addrs := []int{0, 63, 62, 61, 60, 59, 58}
+	ch, root := meshChain(m, addrs)
+	tab := core.SequentialTable{Max: len(addrs)}
+
+	// Stick the root's first fabric hop: the first send freezes there
+	// holding the injection channel, and every later send queues behind it.
+	path := wormhole.PathChannels(m, 0, 63)
+	net := wormhole.New(m, wormhole.DefaultConfig())
+	net.SetFaults(stuckChannel{c: path[1]})
+
+	_, err := Run(net, tab, ch, root, 64, Config{Software: testSoft})
+	if err == nil {
+		t.Fatal("run with a stuck first hop completed")
+	}
+	msg := err.Error()
+	if got := strings.Count(msg, "waiting to inject"); got != 1 {
+		t.Fatalf("want one deduplicated waiting-to-inject line, got %d:\n%s", got, msg)
+	}
+	if !strings.Contains(msg, "more worms on this channel") {
+		t.Fatalf("deduplicated line lacks the collapsed-worm count:\n%s", msg)
+	}
+	if !strings.Contains(msg, "hottest blocked channel") {
+		t.Fatalf("report lost the hottest-channel summary:\n%s", msg)
+	}
+}

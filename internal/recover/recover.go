@@ -1,0 +1,552 @@
+// Package recover delivers multicasts reliably on a faulted fabric. It
+// wraps the mcastsim runtime pattern — nodes re-derive their sends from
+// the split table on delivery — with three composed mechanisms:
+//
+//  1. Per-send timeout and retransmission: every send carries a delivery
+//     deadline, the model-predicted unicast latency t_end scaled by a
+//     tunable slack factor. An unacknowledged send is withdrawn from the
+//     fabric (wormhole.Network.Cancel, so delivery stays at-most-once)
+//     and re-issued with bounded exponential backoff; the backoff jitter
+//     comes from a seeded RNG, so sweeps stay reproducible.
+//  2. Subtree adoption / tree repair: when a destination is declared
+//     dead after the retry budget, its sender strikes it from the chain
+//     and re-runs the OPT split over the surviving sub-chain
+//     (plan.RepairSends) — striking members from an architecture-ordered
+//     chain preserves the order, so the repaired tree keeps the paper's
+//     contention-freedom on the healthy links. The struck member becomes
+//     an orphan, re-assigned to any delivered member that can still
+//     route to it.
+//  3. Graceful degradation: when repair churns past a threshold of
+//     give-ups, planning falls back from the parameterized OPT tree to
+//     binomial recursive-doubling over survivors — a simpler shape that
+//     trades latency for fewer deep dependency chains — and the policy
+//     flip is recorded in the result.
+//
+// The recovery clock is the event queue, never the watchdog: deadlines
+// and backoffs fire at exact cycles, and unreachable freezes pin the
+// fast kernel's cycle-skipping to the freeze cycle, so both wormhole
+// kernels drive recovery through identical decisions at identical times
+// (the chaos harness asserts this bit-exactly).
+package recover
+
+import (
+	"fmt"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/mcastsim"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/wormhole"
+)
+
+// Config parameterizes one reliable multicast execution.
+type Config struct {
+	// Sim carries the software costs (t_send, t_recv, t_hold), the
+	// address-byte charge, and the MaxCycles safety net, with the same
+	// semantics as mcastsim.Config. NoProgressCycles is ignored: every
+	// outstanding send has a pending deadline event, so the per-send
+	// timeouts subsume the no-progress watchdog.
+	Sim mcastsim.Config
+	// TEnd is the model-predicted healthy unicast latency for the
+	// message size, as measured by mcastsim.Unicast. Required (> 0): it
+	// anchors every delivery deadline.
+	TEnd model.Time
+	// SlackNum/SlackDen scale TEnd into the per-send delivery deadline:
+	// a send undelivered TEnd*SlackNum/SlackDen cycles after issue is
+	// declared lost and retransmitted. Both zero defaults to 3/1; the
+	// ratio must be >= 1 or sends provably still in flight would churn.
+	SlackNum, SlackDen int64
+	// MaxRetries is the retransmission budget per assignment; once spent
+	// the destination is given up by this sender and repair takes over.
+	// 0 defaults to 3; negative means no retries (first loss gives up).
+	MaxRetries int
+	// BackoffBase is the base retransmission backoff in cycles; attempt
+	// n waits BackoffBase<<min(n-1,6) plus seeded jitter in
+	// [0, BackoffBase). 0 defaults to max(TEnd/4, 1).
+	BackoffBase int64
+	// ChurnLimit is the graceful-degradation threshold: when give-ups
+	// reach it, later (re)planning switches from the configured split
+	// table to binomial recursive-doubling over survivors. 0 defaults to
+	// 2 + k/4 for a k-member group; negative disables the fallback.
+	ChurnLimit int
+	// Seed drives the deterministic backoff jitter.
+	Seed uint64
+}
+
+// Result reports one reliable multicast execution.
+type Result struct {
+	// Latency is when the last successful delivery completed (software
+	// receive included), measured from the source at 0. Abandoned
+	// destinations do not extend it.
+	Latency int64
+	// Deliveries holds each chain position's delivery-complete time, or
+	// -1 if the position was abandoned. The source's is 0.
+	Deliveries []int64
+	// Status classifies each chain position's outcome. The source is
+	// StatusDelivered.
+	Status []mcastsim.DestStatus
+	// Delivered and Abandoned count the non-source chain positions by
+	// final outcome (retried and adopted positions count as delivered).
+	Delivered, Abandoned int
+	// Overhead itemizes the message cost of recovery.
+	Overhead mcastsim.Overhead
+	// FallbackAt is the cycle (relative to start) the graceful-
+	// degradation policy switched planning to binomial recursive
+	// doubling, or -1 if the churn threshold was never reached.
+	FallbackAt int64
+	// Worms is the number of messages that completed in the fabric;
+	// cancelled retransmits are in Overhead.Cancelled, not here.
+	Worms int64
+	// BlockedCycles, InjectWaitCycles and Cycles mirror mcastsim.Result,
+	// counting only completed worms' contention.
+	BlockedCycles    int64
+	InjectWaitCycles int64
+	Cycles           int64
+}
+
+// pair-state values for runner.pair.
+const (
+	pairUntried    uint8 = iota
+	pairUnroutable       // declared dead after exhausting the retry budget
+)
+
+// xfer is one delivery assignment: from must get the message to to,
+// which then becomes responsible for the ascending chain positions live
+// (to included). The assignment survives retransmissions; seq
+// invalidates the deadline events of superseded issues.
+type xfer struct {
+	from, to int
+	live     []int
+	attempt  int
+	seq      int
+	adopted  bool
+	worm     *wormhole.Worm
+	done     bool
+}
+
+type runner struct {
+	net    *wormhole.Network
+	tab    core.SplitTable
+	fb     core.SplitTable
+	ch     chain.Chain
+	bytes  int
+	cfg    Config
+	events *sim.EventQueue
+	rng    *sim.RNG
+	t0     int64
+	res    Result
+
+	tSend, tRecv, tHold int64
+	timeout             int64 // per-send deadline: TEnd*SlackNum/SlackDen
+	maxRetry            int
+	churnLimit          int // < 0: fallback disabled
+
+	delivered []bool
+	orphan    []bool  // given up by some sender, awaiting re-assignment
+	nextFree  []int64 // per position: when its one send port frees up
+	pair      []uint8 // k*k flattened (from*k+to) give-up record
+	reach     []int8  // k*k Routable cache: 0 unknown, 1 yes, -1 no
+	unBuf     []*wormhole.Worm
+	churn     int
+	fallback  bool
+	runErr    error
+}
+
+// Run executes a reliable multicast of msgBytes over ch with the source
+// at chain index root, shaping trees with tab on the (possibly faulted)
+// net. Unlike mcastsim.Run it does not fail when destinations are
+// unreachable: it retries, repairs and degrades until every destination
+// is delivered or provably cut off, and reports per-destination
+// outcomes. Errors are reserved for misconfiguration and safety-net
+// exhaustion.
+func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, msgBytes int, cfg Config) (Result, error) {
+	if err := ch.Validate(); err != nil {
+		return Result{}, err
+	}
+	k := len(ch)
+	if root < 0 || root >= k {
+		return Result{}, fmt.Errorf("recover: root index %d outside chain of %d nodes", root, k)
+	}
+	if k > tab.K() {
+		return Result{}, fmt.Errorf("recover: chain of %d nodes exceeds split table K=%d", k, tab.K())
+	}
+	if msgBytes < 0 {
+		return Result{}, fmt.Errorf("recover: negative message size %d", msgBytes)
+	}
+	for _, a := range ch {
+		if a < 0 || a >= net.Topology().NumNodes() {
+			return Result{}, fmt.Errorf("recover: chain address %d outside fabric of %d nodes", a, net.Topology().NumNodes())
+		}
+	}
+	if err := net.Quiesced(); err != nil {
+		return Result{}, fmt.Errorf("recover: fabric not idle: %w", err)
+	}
+	if cfg.TEnd <= 0 {
+		return Result{}, fmt.Errorf("recover: Config.TEnd must be the calibrated unicast latency, got %d", cfg.TEnd)
+	}
+	if cfg.SlackNum == 0 && cfg.SlackDen == 0 {
+		cfg.SlackNum, cfg.SlackDen = 3, 1
+	}
+	if cfg.SlackNum <= 0 || cfg.SlackDen <= 0 || cfg.SlackNum < cfg.SlackDen {
+		return Result{}, fmt.Errorf("recover: slack %d/%d invalid (need a ratio >= 1)", cfg.SlackNum, cfg.SlackDen)
+	}
+	if cfg.BackoffBase < 0 {
+		return Result{}, fmt.Errorf("recover: negative BackoffBase %d", cfg.BackoffBase)
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = cfg.TEnd / 4
+		if cfg.BackoffBase < 1 {
+			cfg.BackoffBase = 1
+		}
+	}
+	maxRetry := cfg.MaxRetries
+	switch {
+	case maxRetry == 0:
+		maxRetry = 3
+	case maxRetry < 0:
+		maxRetry = 0
+	}
+	churnLimit := cfg.ChurnLimit
+	if churnLimit == 0 {
+		churnLimit = 2 + k/4
+	}
+
+	r := &runner{
+		net:        net,
+		tab:        tab,
+		fb:         core.BinomialTable{Max: k},
+		ch:         ch,
+		bytes:      msgBytes,
+		cfg:        cfg,
+		events:     new(sim.EventQueue),
+		rng:        sim.NewRNG(cfg.Seed ^ 0x7ec0_4e11_ab1e_c0de),
+		t0:         net.Now(),
+		tSend:      cfg.Sim.Software.Send.At(msgBytes),
+		tRecv:      cfg.Sim.Software.Recv.At(msgBytes),
+		tHold:      cfg.Sim.Software.Hold.At(msgBytes),
+		timeout:    cfg.TEnd * cfg.SlackNum / cfg.SlackDen,
+		maxRetry:   maxRetry,
+		churnLimit: churnLimit,
+		delivered:  make([]bool, k),
+		orphan:     make([]bool, k),
+		nextFree:   make([]int64, k),
+		pair:       make([]uint8, k*k),
+		reach:      make([]int8, k*k),
+		res: Result{
+			Deliveries: make([]int64, k),
+			Status:     make([]mcastsim.DestStatus, k),
+			FallbackAt: -1,
+		},
+	}
+	for i := range r.res.Deliveries {
+		r.res.Deliveries[i] = -1
+	}
+
+	max := cfg.Sim.MaxCycles
+	if max <= 0 {
+		// The mcastsim safety net, widened for the worst recovery case:
+		// every pair burning its whole retry budget with maximum backoff.
+		perMsg := int64(net.Config().Flits(msgBytes+cfg.Sim.AddrBytes*k)) + int64(net.Topology().NumChannels())
+		soft := r.tSend + r.tRecv + r.tHold
+		base := (perMsg+soft+1024)*int64(k+1)*4 + 1<<20
+		perAssign := (r.timeout + cfg.BackoffBase<<7) * int64(maxRetry+1)
+		max = base + int64(k+2)*int64(k+2)*perAssign
+	}
+	deadline := r.t0 + max
+
+	startStats := net.Stats()
+	r.deliverAt(root, chain.Segment{L: 0, R: k - 1}.Positions(), r.t0, nil)
+	for r.runErr == nil && (r.events.Len() > 0 || net.Active() > 0) {
+		if net.Active() == 0 {
+			if next := r.events.NextTime(); next > net.Now() {
+				net.AdvanceTo(next)
+			}
+		}
+		r.events.RunDue(net.Now())
+		if r.runErr != nil || (net.Active() == 0 && r.events.Len() == 0) {
+			break
+		}
+		if net.Active() > 0 {
+			// Step the fabric, but never past the next recovery event (a
+			// deadline or a pending injection must fire at its exact cycle)
+			// or the safety-net check.
+			limit := deadline + 1
+			if limit <= net.Now() {
+				limit = net.Now() + 1
+			}
+			if r.events.Len() > 0 && r.events.NextTime() < limit {
+				limit = r.events.NextTime()
+			}
+			net.StepUntil(limit)
+			r.reclaimFrozen()
+			if err := net.Err(); err != nil {
+				return Result{}, fmt.Errorf("recover: %w; %s", err, net.DeadlockReport(8))
+			}
+			if net.Now() > deadline {
+				return Result{}, fmt.Errorf("recover: multicast not complete after %d cycles; %s", max, net.DeadlockReport(8))
+			}
+		}
+	}
+	if r.runErr != nil {
+		return Result{}, r.runErr
+	}
+	if err := net.Quiesced(); err != nil {
+		return Result{}, fmt.Errorf("recover: fabric did not quiesce: %w", err)
+	}
+
+	for i := range ch {
+		if i == root {
+			continue
+		}
+		if r.delivered[i] {
+			r.res.Delivered++
+		} else {
+			r.res.Status[i] = mcastsim.StatusAbandoned
+			r.res.Abandoned++
+		}
+	}
+	end := net.Stats()
+	r.res.Worms = end.Worms - startStats.Worms
+	r.res.BlockedCycles = end.BlockedCycles - startStats.BlockedCycles
+	r.res.InjectWaitCycles = end.InjectWaitCycles - startStats.InjectWaitCycles
+	r.res.Cycles = end.Cycles - startStats.Cycles
+	return r.res, nil
+}
+
+// deliverAt records that the position self received the message (with
+// responsibility for live) at time t via assignment via (nil for the
+// source), then schedules its sends and revisits queued orphans — a new
+// delivered member is a new candidate relay.
+func (r *runner) deliverAt(self int, live []int, t int64, via *xfer) {
+	if r.delivered[self] {
+		r.fault(fmt.Errorf("recover: duplicate delivery to chain position %d", self))
+		return
+	}
+	r.delivered[self] = true
+	r.orphan[self] = false
+	r.res.Deliveries[self] = t - r.t0
+	if lat := t - r.t0; lat > r.res.Latency {
+		r.res.Latency = lat
+	}
+	adopted := false
+	if via != nil {
+		adopted = via.adopted
+		switch {
+		case via.adopted:
+			r.res.Status[self] = mcastsim.StatusAdopted
+		case via.attempt > 0:
+			r.res.Status[self] = mcastsim.StatusRetried
+		default:
+			r.res.Status[self] = mcastsim.StatusDelivered
+		}
+	}
+	if len(live) > 1 {
+		r.spawn(self, live, t, adopted, false)
+	}
+	r.assignOrphans(t)
+}
+
+// spawn plans and issues self's sends for the live positions, using the
+// fallback table once the degradation policy has flipped. repair marks
+// the sends as replanned (they count toward Overhead.RepairSends and
+// their receivers as adopted).
+func (r *runner) spawn(self int, live []int, t int64, adopted, repair bool) {
+	tab := r.tab
+	if r.fallback {
+		tab = r.fb
+	}
+	sends, err := plan.RepairSends(tab, live, self)
+	if err != nil {
+		r.fault(err)
+		return
+	}
+	for _, snd := range sends {
+		x := &xfer{from: self, to: snd.To, live: snd.Live, adopted: adopted || repair}
+		if repair {
+			r.res.Overhead.RepairSends++
+		}
+		r.issue(x, t)
+	}
+}
+
+// issue schedules one transmission of x no earlier than notBefore,
+// serialized behind the sender's other sends (one-port pacing: a node's
+// consecutive issues are t_hold apart, exactly mcastsim's spacing), and
+// arms its delivery deadline.
+func (r *runner) issue(x *xfer, notBefore int64) {
+	at := notBefore
+	if nf := r.nextFree[x.from]; nf > at {
+		at = nf
+	}
+	r.nextFree[x.from] = at + r.tHold
+	x.seq++
+	seq := x.seq
+	r.events.At(at+r.tSend, func() { r.inject(x, seq) })
+	r.events.At(at+r.timeout, func() { r.expire(x, seq) })
+	r.res.Overhead.Sends++
+}
+
+// inject hands x's message to the fabric (software send cost already
+// elapsed). The arrival callback schedules delivery after the receive
+// cost; the deadline event watches the race.
+func (r *runner) inject(x *xfer, seq int) {
+	if x.done || x.seq != seq {
+		return
+	}
+	bytes := r.bytes + r.cfg.Sim.AddrBytes*(len(x.live)-1)
+	src := wormhole.NodeID(r.ch[x.from])
+	dst := wormhole.NodeID(r.ch[x.to])
+	x.worm = r.net.Send(src, dst, bytes, x, func(_ *wormhole.Worm, now int64) {
+		x.done = true
+		x.worm = nil
+		r.events.At(now+r.tRecv, func() { r.deliverAt(x.to, x.live, now+r.tRecv, x) })
+	})
+}
+
+// expire fires at x's delivery deadline; if the current issue of x has
+// not arrived by then the send is declared lost.
+func (r *runner) expire(x *xfer, seq int) {
+	if x.done || x.seq != seq {
+		return
+	}
+	r.fail(x, false)
+}
+
+// reclaimFrozen cancels worms frozen by the fault layer (no live route)
+// and routes their assignments into the retry/give-up path immediately —
+// a frozen worm never completes, and waiting out its deadline would just
+// hold channels hostage. Cancelling the last frozen worm clears the
+// fabric error, so the run continues.
+func (r *runner) reclaimFrozen() {
+	r.unBuf = r.net.Unreachable(r.unBuf[:0])
+	for _, w := range r.unBuf {
+		x, ok := w.Tag.(*xfer)
+		if !ok {
+			r.fault(fmt.Errorf("recover: frozen worm %d carries foreign tag %T", w.ID, w.Tag))
+			return
+		}
+		r.fail(x, true)
+	}
+}
+
+// fail handles a lost send: the outstanding worm (if any) is withdrawn
+// so delivery stays at-most-once, then the assignment is retried with
+// bounded exponential backoff or given up. frozen marks losses where the
+// fault layer proved no live route existed from the worm's position —
+// if the idle-fabric oracle agrees the pair is unroutable, the retry
+// budget is skipped (retrying a provably dead route cannot help);
+// otherwise the freeze was a contention-driven detour into a dead end
+// and retrying on a quieter fabric can still succeed.
+func (r *runner) fail(x *xfer, frozen bool) {
+	if x.worm != nil {
+		r.net.Cancel(x.worm)
+		r.res.Overhead.Cancelled++
+		x.worm = nil
+	}
+	x.seq++
+	now := r.net.Now()
+	give := x.attempt >= r.maxRetry
+	if frozen && !r.routable(x.from, x.to) {
+		give = true
+	}
+	if give {
+		r.giveUp(x, now)
+		return
+	}
+	x.attempt++
+	r.res.Overhead.Retransmits++
+	shift := uint(x.attempt - 1)
+	if shift > 6 {
+		shift = 6
+	}
+	backoff := r.cfg.BackoffBase << shift
+	backoff += int64(r.rng.Uint64() % uint64(r.cfg.BackoffBase))
+	r.issue(x, now+backoff)
+}
+
+// giveUp declares the (from, to) pair unroutable, re-plans the rest of
+// to's subtree from the same sender (subtree adoption via RepairSends),
+// queues to as an orphan for re-assignment to another delivered member,
+// and advances the graceful-degradation policy.
+func (r *runner) giveUp(x *xfer, now int64) {
+	k := len(r.ch)
+	r.pair[x.from*k+x.to] = pairUnroutable
+	r.res.Overhead.Repairs++
+	r.churn++
+	if !r.fallback && r.churnLimit >= 0 && r.churn >= r.churnLimit {
+		r.fallback = true
+		r.res.FallbackAt = now - r.t0
+	}
+	r.orphan[x.to] = true
+	// Survivors of the subtree to would have served, re-split from this
+	// sender over the surviving sub-chain (sender inserted in order).
+	if len(x.live) > 1 {
+		liveSelf := make([]int, 0, len(x.live))
+		placed := false
+		for _, p := range x.live {
+			if p == x.to {
+				continue
+			}
+			if !placed && x.from < p {
+				liveSelf = append(liveSelf, x.from)
+				placed = true
+			}
+			liveSelf = append(liveSelf, p)
+		}
+		if !placed {
+			liveSelf = append(liveSelf, x.from)
+		}
+		r.spawn(x.from, liveSelf, now, true, true)
+	}
+	r.assignOrphans(now)
+}
+
+// assignOrphans retries delivery for every queued orphan that some
+// delivered member can still reach: the lowest-position delivered member
+// whose pair is not already given up and whose route exists on an idle
+// fabric. Assignment order is position-ascending, so the schedule is
+// deterministic; unassignable orphans stay queued until a new member is
+// delivered, and are abandoned if the run drains first.
+func (r *runner) assignOrphans(now int64) {
+	k := len(r.ch)
+	for c := 0; c < k; c++ {
+		if !r.orphan[c] || r.delivered[c] {
+			continue
+		}
+		for s := 0; s < k; s++ {
+			if s == c || !r.delivered[s] || r.pair[s*k+c] == pairUnroutable || !r.routable(s, c) {
+				continue
+			}
+			r.orphan[c] = false
+			x := &xfer{from: s, to: c, live: []int{c}, adopted: true}
+			r.res.Overhead.OrphanSends++
+			r.issue(x, now)
+			break
+		}
+	}
+}
+
+// routable caches the idle-fabric Routable oracle per position pair —
+// dead channels never heal, so the verdict is stable for the whole run.
+func (r *runner) routable(a, b int) bool {
+	i := a*len(r.ch) + b
+	if v := r.reach[i]; v != 0 {
+		return v > 0
+	}
+	ok := Routable(r.net.Topology(), r.net.Faults(), wormhole.NodeID(r.ch[a]), wormhole.NodeID(r.ch[b]))
+	if ok {
+		r.reach[i] = 1
+	} else {
+		r.reach[i] = -1
+	}
+	return ok
+}
+
+// fault records the first internal error; the run loop aborts on it.
+func (r *runner) fault(err error) {
+	if r.runErr == nil {
+		r.runErr = err
+	}
+}

@@ -186,6 +186,11 @@ type Stats struct {
 	BlockedCycles int64
 	// InjectWaitCycles sums one-port injection waiting over all worms.
 	InjectWaitCycles int64
+	// Cancelled is the number of worms withdrawn via Cancel before
+	// arrival (recovery-layer retransmits and give-ups). Cancelled worms
+	// are not counted in Worms and their per-worm blocked/inject-wait
+	// counters are discarded with them.
+	Cancelled int64
 }
 
 // Network is the simulator state for one fabric instance.
@@ -437,6 +442,76 @@ func (n *Network) Send(src, dst NodeID, bytes int, tag any, onArrive ArrivalFunc
 	n.nextID++
 	n.worms = append(n.worms, w)
 	return w
+}
+
+// Cancel withdraws an in-flight worm from the fabric at the current
+// cycle: every channel it still holds is released (with Release observer
+// events), its remaining flits are discarded, and its arrival callback
+// never fires. It is the primitive a recovery driver needs for
+// timeout/retransmit — cancel the overdue worm, then Send a fresh copy —
+// and guarantees at-most-once delivery because the payload is withdrawn
+// before the replacement enters the fabric. Cancel is a driver-level
+// operation: call it between Step/StepUntil calls, never from an
+// observer or arrival callback. Cancelling a completed, unknown or nil
+// worm panics. A cancelled worm's per-worm counters are discarded (see
+// Stats.Cancelled). If the cancelled worm was frozen unreachable and no
+// frozen worm remains, the recorded fabric error (Err) is cleared so the
+// run can continue.
+func (n *Network) Cancel(w *Worm) {
+	if w == nil || w.done {
+		panic("wormhole: Cancel of nil or completed worm")
+	}
+	at := -1
+	for i, a := range n.worms {
+		if a == w {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		panic(fmt.Sprintf("wormhole: Cancel of worm %d not in flight", w.ID))
+	}
+	for i := range w.path {
+		if n.owner[w.path[i]] == w {
+			n.release(w, i)
+		}
+	}
+	wasFrozen := w.waitState == waitUnreachable
+	n.worms = append(n.worms[:at], n.worms[at+1:]...)
+	// Ownership and the active set changed; cached verdicts are stale.
+	n.epoch++
+	n.progress = true
+	n.stats.Cancelled++
+	if wasFrozen && n.err != nil {
+		frozen := false
+		for _, a := range n.worms {
+			if a.waitState == waitUnreachable {
+				frozen = true
+				break
+			}
+		}
+		if !frozen {
+			n.err = nil
+		}
+	}
+	if n.recycle && n.obs == nil {
+		n.free = append(n.free, w)
+	}
+}
+
+// Unreachable appends to buf the active worms frozen because no live
+// route toward their destination exists (see SetFaults), in creation
+// order, and returns the extended slice. Recovery drivers poll it after
+// each StepUntil: a frozen worm never completes on its own, so the
+// driver must Cancel it and re-plan the delivery (retry elsewhere, or
+// give the destination up).
+func (n *Network) Unreachable(buf []*Worm) []*Worm {
+	for _, w := range n.worms {
+		if w.waitState == waitUnreachable {
+			buf = append(buf, w)
+		}
+	}
+	return buf
 }
 
 // Step advances the simulation by exactly one cycle: flits move
@@ -951,48 +1026,67 @@ func (n *Network) RunUntilIdle(maxCycles int64) (int64, error) {
 
 // DeadlockReport renders a deterministic diagnosis of a stuck fabric:
 // the hottest blocked channel (the one the most frozen headers want,
-// ties to the lowest channel ID), followed by up to max per-worm lines in
-// creation order describing what each active worm is waiting for. It is
-// read-only and safe to call at any cycle; drivers call it when a
-// watchdog fires so the error names the culprits instead of just "timed
-// out".
+// ties to the lowest channel ID), followed by up to max lines in worm
+// creation order describing what the active worms are waiting for. Worms
+// stuck for the same reason on the same channel (a convoy blocked on one
+// held link, or a queue waiting to inject at one node) are collapsed
+// into a single line carrying the count, so the report stays readable
+// when hundreds of worms pile up behind one failure. It is read-only and
+// safe to call at any cycle; drivers call it when a watchdog fires so
+// the error names the culprits instead of just "timed out".
 func (n *Network) DeadlockReport(max int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d worms in flight at cycle %d", len(n.worms), n.now)
 	waiters := make([]int32, n.topo.NumChannels())
-	lines := 0
-	line := func(format string, args ...any) {
-		if lines < max {
-			b.WriteString("\n  ")
-			fmt.Fprintf(&b, format, args...)
-		}
-		lines++
+	type entry struct {
+		text string
+		more int // additional worms collapsed into this line
 	}
+	var entries []entry
+	// Dedup is keyed by (reason kind, channel); the map is only ever
+	// indexed, never ranged, so report order stays creation order.
+	index := make(map[int64]int)
+	line := func(kind int64, c ChannelID, format string, args ...any) {
+		if kind >= 0 {
+			key := kind<<32 | int64(c)
+			if i, ok := index[key]; ok {
+				entries[i].more++
+				return
+			}
+			index[key] = len(entries)
+		}
+		entries = append(entries, entry{text: fmt.Sprintf(format, args...)})
+	}
+	const (
+		unique      int64 = -1 // never collapsed
+		kindInject  int64 = 0
+		kindBlocked int64 = 1
+	)
 	for _, w := range n.worms {
 		switch {
 		case w.waitState == waitUnreachable:
-			line("worm %d (%d->%d): unreachable, frozen holding %d channels", w.ID, w.Src, w.Dst, len(w.path))
+			line(unique, 0, "worm %d (%d->%d): unreachable, frozen holding %d channels", w.ID, w.Src, w.Dst, len(w.path))
 		case len(w.path) == 0:
 			c := n.inject[w.Src]
 			if h := n.owner[c]; h != nil {
 				waiters[c]++
-				line("worm %d (%d->%d): waiting to inject; %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c), h.ID)
+				line(kindInject, c, "worm %d (%d->%d): waiting to inject; %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c), h.ID)
 			} else {
-				line("worm %d (%d->%d): not yet injected", w.ID, w.Src, w.Dst)
+				line(unique, 0, "worm %d (%d->%d): not yet injected", w.ID, w.Src, w.Dst)
 			}
 		case w.routed:
-			line("worm %d (%d->%d): routed, draining %d channels", w.ID, w.Src, w.Dst, len(w.path))
+			line(unique, 0, "worm %d (%d->%d): routed, draining %d channels", w.ID, w.Src, w.Dst, len(w.path))
 		case w.entered(len(w.path)-1) == 0 || n.now < w.headerReadyAt:
 			// The worm owns its frontier channel but flits have not entered
 			// it (router delay, or a fault gate refusing them); it is what
 			// the worm is waiting on, so it counts toward the hot channel.
 			c := w.path[len(w.path)-1]
 			waiters[c]++
-			line("worm %d (%d->%d): header in flight toward %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c))
+			line(unique, 0, "worm %d (%d->%d): header in flight toward %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c))
 		default:
 			cands := n.routeCands(w)
 			if len(cands) == 0 {
-				line("worm %d (%d->%d): no live routing candidate at %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(w.path[len(w.path)-1]))
+				line(unique, 0, "worm %d (%d->%d): no live routing candidate at %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(w.path[len(w.path)-1]))
 				break
 			}
 			free := ChannelID(-1)
@@ -1004,12 +1098,23 @@ func (n *Network) DeadlockReport(max int) string {
 				}
 			}
 			if free >= 0 {
-				line("worm %d (%d->%d): header ready, can advance into %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(free))
+				line(unique, 0, "worm %d (%d->%d): header ready, can advance into %s", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(free))
 				break
 			}
 			cand, hold := n.blame(cands)
-			line("worm %d (%d->%d): blocked; wants %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(cand), hold.ID)
+			line(kindBlocked, cand, "worm %d (%d->%d): blocked; wants %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(cand), hold.ID)
 		}
+	}
+	lines := 0
+	for _, e := range entries {
+		if lines < max {
+			b.WriteString("\n  ")
+			b.WriteString(e.text)
+			if e.more > 0 {
+				fmt.Fprintf(&b, " (+%d more worms on this channel)", e.more)
+			}
+		}
+		lines++
 	}
 	if lines > max {
 		fmt.Fprintf(&b, "\n  ... and %d more", lines-max)
