@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check bench bench-smoke fault-smoke recover-smoke ci
+.PHONY: all build test race lint vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke shard-smoke golden golden-check ci
 
 all: build
 
@@ -38,14 +38,24 @@ fmt-check:
 
 # One pass over every benchmark, recorded as JSON (see the README's
 # benchmarking section). BENCH_kernel.json in the repo root is the
-# committed before/after record for the kernel rewrite.
+# committed record `bench-gate` compares against; it re-embeds the
+# pre-kernel-rewrite numbers (results/bench_baseline.json) so the
+# historical before/after pair survives regeneration.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=1 -benchmem ./... | $(GO) run ./cmd/benchjson -o BENCH_kernel.json
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=1 -benchmem ./... | $(GO) run ./cmd/benchjson -baseline results/bench_baseline.json -o BENCH_kernel.json
 
 # Fast CI guard: the kernel microbenchmarks must run and parse, so the
 # bench suite and the benchjson pipeline can never bit-rot.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkStepKernel -benchtime=1x -count=1 -benchmem . | $(GO) run ./cmd/benchjson -o /dev/null
+
+# Benchmark regression gate: rerun every benchmark once and compare the
+# deterministic metrics (allocs/op, B/op) against the committed record.
+# ns/op is reported but not gated — single-iteration CI timings are
+# noise. Regenerate the record with `make bench` after intentional
+# changes.
+bench-gate:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=1 -benchmem ./... | $(GO) run ./cmd/benchjson -compare BENCH_kernel.json -tolerance 25 > /dev/null
 
 # End-to-end fault-injection smoke: generate the F1 degradation table at
 # low trial count, exercising fault plans, degraded routing and the run
@@ -59,4 +69,29 @@ fault-smoke:
 recover-smoke:
 	$(GO) run ./cmd/mcastbench -fig f2 -trials 2
 
-ci: fmt-check build test lint race bench-smoke fault-smoke recover-smoke
+# Sharded-engine smoke: split a figure across two shard runs sharing a
+# cache, merge from cache alone, and assert the merge recomputed
+# nothing and printed the same bytes as a serial run. This is the
+# cross-machine CI path in miniature.
+shard-smoke:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/mcastbench ./cmd/mcastbench; \
+	$$tmp/mcastbench -fig conc -trials 2 > $$tmp/serial.txt; \
+	$$tmp/mcastbench -fig conc -trials 2 -shard 0/2 -cache $$tmp/cache > /dev/null; \
+	$$tmp/mcastbench -fig conc -trials 2 -shard 1/2 -cache $$tmp/cache > /dev/null; \
+	$$tmp/mcastbench -fig conc -trials 2 -cache $$tmp/cache -resume -summary $$tmp/summary.json > $$tmp/merged.txt; \
+	cmp $$tmp/serial.txt $$tmp/merged.txt; \
+	grep -q '"computed": 0' $$tmp/summary.json; \
+	grep -q '"complete": true' $$tmp/summary.json; \
+	echo "shard-smoke: merge bit-identical to serial run, 0 cells recomputed"
+
+# Golden tables: results/figures_all.txt is the committed full-trials
+# output of every figure. `golden` regenerates it (minutes);
+# `golden-check` fails if the committed tables drifted from the code.
+golden:
+	$(GO) run ./cmd/mcastbench -fig all > results/figures_all.txt
+
+golden-check: golden
+	git diff --exit-code -- results
+
+ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke shard-smoke golden-check

@@ -125,7 +125,7 @@ func BenchmarkAddrPayloadAblation(b *testing.B) {
 // BenchmarkPolicyAblation compares BMIN ascent policies.
 func BenchmarkPolicyAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.PolicyAblation(128, wormhole.DefaultConfig(), model.DefaultSoftware(), benchTrials, 1997, 32, 4096); err != nil {
+		if _, err := exp.PolicyAblation(128, wormhole.DefaultConfig(), model.DefaultSoftware(), benchTrials, 1997, 32, 4096, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,9 +8,19 @@
 //
 // With -baseline FILE, a previously saved bench log is parsed the same
 // way and embedded under "baseline", recording a before/after pair in one
-// artifact. benchjson exits non-zero if the input contains no benchmark
-// lines or reports a test failure, so a bench smoke step in CI fails
-// loudly instead of writing an empty file.
+// artifact.
+//
+// With -compare FILE, the input is gated against a previously committed
+// JSON report: the deterministic metrics (allocs/op and B/op) must stay
+// within -tolerance percent of the old values, and every old benchmark
+// must still exist. ns/op is reported but not gated unless
+// -time-tolerance is set, because single-iteration CI timings are noise.
+//
+//	go test -run='^$' -bench=. -benchtime=1x . | go run ./cmd/benchjson -compare BENCH_kernel.json
+//
+// benchjson exits non-zero if any input (stdin, -baseline, -compare)
+// contains no benchmark lines or reports a test failure, so a bench
+// smoke step in CI fails loudly instead of writing an empty file.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -97,57 +108,169 @@ func trimProcSuffix(name string) string {
 	return name[:i]
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchjson:", err)
-	os.Exit(1)
+// gates are the metrics compared against a committed report. allocs/op
+// and B/op are machine-independent for deterministic code, so they gate
+// hard; the floor ignores absolute wiggle below it (a +1 alloc on a
+// 2-alloc benchmark is 50% but meaningless as a gate).
+var gates = []struct {
+	unit  string
+	floor float64
+}{
+	{"allocs/op", 8},
+	{"B/op", 1024},
 }
 
-func main() {
-	out := flag.String("o", "", "output JSON path (default: JSON to stdout)")
-	baseline := flag.String("baseline", "", "optional saved bench log to embed under \"baseline\"")
-	flag.Parse()
+// compare gates cur against old. tolerance and timeTolerance are
+// percentages; timeTolerance <= 0 leaves ns/op informational. It returns
+// human-readable report lines plus the list of violations.
+func compare(old, cur []result, tolerance, timeTolerance float64) (lines, violations []string) {
+	curByName := make(map[string]result, len(cur))
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	exceeds := func(oldV, newV, tol, floor float64) bool {
+		return newV > oldV*(1+tol/100) && newV-oldV > floor
+	}
+	for _, o := range old {
+		c, ok := curByName[o.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: benchmark missing from input (renamed or deleted?)", o.Name))
+			continue
+		}
+		for _, g := range gates {
+			oldV, ok := o.Metrics[g.unit]
+			if !ok {
+				continue
+			}
+			newV := c.Metrics[g.unit]
+			line := fmt.Sprintf("%s %s: %g -> %g", o.Name, g.unit, oldV, newV)
+			if exceeds(oldV, newV, tolerance, g.floor) {
+				violations = append(violations, line+fmt.Sprintf(" (over %+.0f%% tolerance)", tolerance))
+			} else {
+				lines = append(lines, line)
+			}
+		}
+		if oldV, ok := o.Metrics["ns/op"]; ok {
+			newV := c.Metrics["ns/op"]
+			line := fmt.Sprintf("%s ns/op: %g -> %g", o.Name, oldV, newV)
+			if timeTolerance > 0 && exceeds(oldV, newV, timeTolerance, 0) {
+				violations = append(violations, line+fmt.Sprintf(" (over %+.0f%% time tolerance)", timeTolerance))
+			} else {
+				lines = append(lines, line+" (informational)")
+			}
+		}
+		delete(curByName, o.Name)
+	}
+	var extra []string
+	for name := range curByName {
+		extra = append(extra, name)
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		lines = append(lines, fmt.Sprintf("%s: new benchmark (no committed reference)", name))
+	}
+	return lines, violations
+}
 
-	echo := io.Writer(os.Stdout)
-	if *out == "" {
-		echo = os.Stderr
-	}
-	results, ctx, failed, err := parse(os.Stdin, echo)
+// options are the parsed flags; run is separated from main for tests.
+type options struct {
+	out           string
+	baseline      string
+	compareFile   string
+	tolerance     float64
+	timeTolerance float64
+}
+
+// parseFile parses a saved bench log or JSON report at path. JSON files
+// (committed reports) contribute their "benchmarks" section; anything
+// else is parsed as a raw `go test -bench` log. Zero parsed benchmarks
+// is an error either way — an empty reference would gate nothing.
+func parseFile(path string) ([]result, error) {
+	buf, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	if failed {
-		fatal(fmt.Errorf("input reports FAIL"))
+	var results []result
+	if json.Valid(buf) {
+		var rep report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		results = rep.Benchmarks
+	} else {
+		results, _, _, err = parse(strings.NewReader(string(buf)), nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
 	}
 	if len(results) == 0 {
-		fatal(fmt.Errorf("no benchmark lines in input"))
+		return nil, fmt.Errorf("%s: no benchmark lines", path)
+	}
+	return results, nil
+}
+
+func run(o options, stdin io.Reader, stdout, stderr io.Writer) error {
+	echo := stdout
+	if o.out == "" {
+		echo = stderr
+	}
+	results, ctx, failed, err := parse(stdin, echo)
+	if err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("input reports FAIL")
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
 	}
 	rep := report{Context: ctx, Benchmarks: results}
-	if *baseline != "" {
-		f, err := os.Open(*baseline)
+	if o.baseline != "" {
+		base, err := parseFile(o.baseline)
 		if err != nil {
-			fatal(err)
-		}
-		base, _, _, err := parse(f, nil)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fatal(err)
+			return err
 		}
 		rep.Baseline = base
 	}
+	if o.compareFile != "" {
+		old, err := parseFile(o.compareFile)
+		if err != nil {
+			return err
+		}
+		lines, violations := compare(old, results, o.tolerance, o.timeTolerance)
+		for _, l := range lines {
+			fmt.Fprintln(stderr, "benchjson:", l)
+		}
+		for _, v := range violations {
+			fmt.Fprintln(stderr, "benchjson: REGRESSION:", v)
+		}
+		if len(violations) > 0 {
+			return fmt.Errorf("%d benchmark regression(s) vs %s", len(violations), o.compareFile)
+		}
+	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	buf = append(buf, '\n')
-	if *out == "" {
-		if _, err := os.Stdout.Write(buf); err != nil {
-			fatal(err)
-		}
-		return
+	if o.out == "" {
+		_, err := stdout.Write(buf)
+		return err
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fatal(err)
+	return os.WriteFile(o.out, buf, 0o644)
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.out, "o", "", "output JSON path (default: JSON to stdout)")
+	flag.StringVar(&o.baseline, "baseline", "", "optional saved bench log to embed under \"baseline\"")
+	flag.StringVar(&o.compareFile, "compare", "", "committed JSON report (or raw bench log) to gate against")
+	flag.Float64Var(&o.tolerance, "tolerance", 25, "allowed regression percentage for allocs/op and B/op in -compare mode")
+	flag.Float64Var(&o.timeTolerance, "time-tolerance", 0, "also gate ns/op at this percentage (0 = informational only; CI timings are noisy)")
+	flag.Parse()
+
+	if err := run(o, os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
 }

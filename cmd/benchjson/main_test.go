@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleLog = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: test
+BenchmarkKernel-8    	     100	    123456 ns/op	    2048 B/op	      10 allocs/op
+BenchmarkFigure2-8   	       1	  99999999 ns/op	 5000000 B/op	   16799 allocs/op
+PASS
+`
+
+func runWith(t *testing.T, o options, stdin string) (string, string, error) {
+	t.Helper()
+	var out, errw strings.Builder
+	err := run(o, strings.NewReader(stdin), &out, &errw)
+	return out.String(), errw.String(), err
+}
+
+func TestRunEmitsJSON(t *testing.T) {
+	out, _, err := runWith(t, options{}, sampleLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out)
+	}
+	if len(rep.Benchmarks) != 2 || rep.Benchmarks[0].Name != "BenchmarkKernel" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Metrics["allocs/op"] != 10 {
+		t.Fatalf("metrics = %+v", rep.Benchmarks[0].Metrics)
+	}
+}
+
+// A renamed benchmark (or a bad -bench regexp) must not silently write
+// an empty report: zero parsed lines is a hard error.
+func TestRunZeroBenchmarksFails(t *testing.T) {
+	_, _, err := runWith(t, options{}, "PASS\nok  \trepro\t0.01s\n")
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("err = %v, want no-benchmark-lines error", err)
+	}
+}
+
+func TestRunFailInputFails(t *testing.T) {
+	_, _, err := runWith(t, options{}, sampleLog+"FAIL\n")
+	if err == nil || !strings.Contains(err.Error(), "FAIL") {
+		t.Fatalf("err = %v, want FAIL error", err)
+	}
+}
+
+// writeReport commits a report JSON for -compare tests.
+func writeReport(t *testing.T, benchmarks []result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "old.json")
+	buf, err := json.Marshal(report{Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	old := writeReport(t, []result{
+		{Name: "BenchmarkKernel", Metrics: map[string]float64{"allocs/op": 10, "B/op": 2048, "ns/op": 1}},
+		{Name: "BenchmarkFigure2", Metrics: map[string]float64{"allocs/op": 16000, "B/op": 4800000}},
+	})
+	// Input is sampleLog: Kernel identical, Figure2 within 25% of old.
+	_, errw, err := runWith(t, options{compareFile: old, tolerance: 25}, sampleLog)
+	if err != nil {
+		t.Fatalf("err = %v\n%s", err, errw)
+	}
+	// ns/op moved 123456x but is informational by default.
+	if !strings.Contains(errw, "informational") {
+		t.Fatalf("expected informational ns/op line:\n%s", errw)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	old := writeReport(t, []result{
+		{Name: "BenchmarkFigure2", Metrics: map[string]float64{"allocs/op": 10000}},
+	})
+	_, errw, err := runWith(t, options{compareFile: old, tolerance: 25}, sampleLog)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("err = %v, want regression (16799 allocs vs 10000 +25%%)\n%s", err, errw)
+	}
+	if !strings.Contains(errw, "REGRESSION") {
+		t.Fatalf("expected REGRESSION line:\n%s", errw)
+	}
+}
+
+// Small absolute drifts below the gate floor pass even when the
+// relative change is large: +2 allocs on a 4-alloc benchmark is not a
+// regression worth failing CI over.
+func TestCompareFloorAbsorbsTinyDrift(t *testing.T) {
+	old := writeReport(t, []result{
+		{Name: "BenchmarkKernel", Metrics: map[string]float64{"allocs/op": 4}},
+	})
+	_, errw, err := runWith(t, options{compareFile: old, tolerance: 25}, sampleLog)
+	if err != nil {
+		t.Fatalf("err = %v (10 vs 4 allocs is +150%% but only +6 absolute)\n%s", err, errw)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old := writeReport(t, []result{
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"allocs/op": 10}},
+	})
+	_, _, err := runWith(t, options{compareFile: old, tolerance: 25}, sampleLog)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("err = %v, want missing-benchmark failure", err)
+	}
+}
+
+func TestCompareTimeToleranceGatesNsOp(t *testing.T) {
+	old := writeReport(t, []result{
+		{Name: "BenchmarkKernel", Metrics: map[string]float64{"ns/op": 1000}},
+	})
+	_, _, err := runWith(t, options{compareFile: old, tolerance: 25, timeTolerance: 50}, sampleLog)
+	if err == nil {
+		t.Fatal("123456 ns/op vs 1000 must fail a 50% time gate")
+	}
+}
+
+// An empty or unparseable reference would gate nothing; treat it as an
+// error rather than a vacuous pass.
+func TestCompareEmptyReferenceFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := runWith(t, options{compareFile: path}, sampleLog)
+	if err == nil || !strings.Contains(err.Error(), "no benchmark lines") {
+		t.Fatalf("err = %v, want empty-reference error", err)
+	}
+}
+
+func TestBaselineRawLogEmbeds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.log")
+	if err := os.WriteFile(path, []byte(sampleLog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runWith(t, options{baseline: path}, sampleLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Baseline) != 2 {
+		t.Fatalf("baseline = %+v", rep.Baseline)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkKernel-8":    "BenchmarkKernel",
+		"BenchmarkKernel":      "BenchmarkKernel",
+		"BenchmarkOpt-mesh-16": "BenchmarkOpt-mesh",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

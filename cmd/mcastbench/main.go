@@ -8,6 +8,12 @@
 //	mcastbench -fig all -csv     # everything, machine readable
 //	mcastbench -fig 3 -trials 4  # quicker, noisier
 //
+// Every sweep decomposes into a manifest of independent cells, so runs
+// can be split across machines and resumed:
+//
+//	mcastbench -fig all -shard 0/4 -cache results/cache   # machine 1 of 4
+//	mcastbench -fig all -resume -summary -                # merge from cache
+//
 // Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, all.
 package main
 
@@ -15,55 +21,121 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/bmin"
 	"repro/internal/exp"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/wormhole"
 )
 
+type options struct {
+	fig      string
+	trials   int
+	seed     uint64
+	workers  int
+	csv      bool
+	chart    bool
+	shard    string // "i/n", or "" for all cells
+	cacheDir string
+	resume   bool
+	summary  string // summary JSON path, "-" = stderr, "" = none
+	progress bool
+}
+
 func main() {
-	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, all")
-		trials  = flag.Int("trials", 16, "random placements per data point (the paper uses 16)")
-		seed    = flag.Uint64("seed", 1997, "PRNG seed")
-		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		chart   = flag.Bool("chart", false, "also draw each figure as an ASCII chart")
-	)
+	var o options
+	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, all")
+	flag.IntVar(&o.trials, "trials", 16, "random placements per data point (the paper uses 16)")
+	flag.Uint64Var(&o.seed, "seed", 1997, "PRNG seed")
+	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.csv, "csv", false, "emit CSV instead of aligned text")
+	flag.BoolVar(&o.chart, "chart", false, "also draw each figure as an ASCII chart")
+	flag.StringVar(&o.shard, "shard", "", "compute only slice i of n of every sweep manifest, format i/n (e.g. 0/4); requires -cache to be useful")
+	flag.StringVar(&o.cacheDir, "cache", "", "content-addressed cell cache directory; without -resume every owned cell recomputes and overwrites its entry")
+	flag.BoolVar(&o.resume, "resume", false, "reuse cached cell results before computing (cache dir defaults to results/cache when -cache is unset)")
+	flag.StringVar(&o.summary, "summary", "", "write a per-run JSON summary (cells computed/cached/skipped, wall time) to this file; \"-\" = stderr")
+	flag.BoolVar(&o.progress, "progress", false, "print progress/ETA lines to stderr")
 	flag.Parse()
 
-	if err := run(*fig, *trials, *seed, *workers, *csv, *chart); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mcastbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, trials int, seed uint64, workers int, csv, chart bool) error {
+// parseShard parses "i/n" into (i, n); "" means (0, 1) — all cells.
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
+func run(o options) error {
+	shard, nshards, err := parseShard(o.shard)
+	if err != nil {
+		return err
+	}
+	ex := &runner.Exec{
+		Workers: o.workers,
+		Shard:   shard, NShards: nshards,
+		Resume:  o.resume,
+		Summary: &runner.Summary{},
+	}
+	cacheDir := o.cacheDir
+	if cacheDir == "" && o.resume {
+		cacheDir = filepath.Join("results", "cache")
+	}
+	if cacheDir != "" {
+		c, err := runner.OpenCache(cacheDir)
+		if err != nil {
+			return err
+		}
+		ex.Cache = c
+	}
+	if o.progress {
+		ex.Progress = os.Stderr
+	}
+	start := time.Now()
+
 	cfg := wormhole.DefaultConfig()
-	meshSuite := func() *exp.Suite {
-		s := exp.DefaultSuite(exp.MeshPlatform(16, 16, cfg))
-		s.Trials, s.Seed, s.Workers = trials, seed, workers
+	newSuite := func(p exp.Platform) *exp.Suite {
+		s := exp.DefaultSuite(p)
+		s.Trials, s.Seed, s.Workers = o.trials, o.seed, o.workers
+		s.Exec = ex
 		return s
 	}
-	bminSuite := func() *exp.Suite {
-		s := exp.DefaultSuite(exp.BMINPlatform(128, bmin.AscentStraight, cfg))
-		s.Trials, s.Seed, s.Workers = trials, seed, workers
-		return s
-	}
+	meshSuite := func() *exp.Suite { return newSuite(exp.MeshPlatform(16, 16, cfg)) }
+	bminSuite := func() *exp.Suite { return newSuite(exp.BMINPlatform(128, bmin.AscentStraight, cfg)) }
 
 	emit := func(t *exp.Table, err error) error {
 		if err != nil {
 			return err
 		}
-		if csv {
+		if t.Incomplete {
+			// A shard run computed (and cached) its slice of this sweep;
+			// the merge happens on whichever run sees the full cache.
+			fmt.Printf("%s\n  [deferred: shard %s computed its cells; merge needs every shard's cache entries]\n", t.Title, o.shard)
+			return nil
+		}
+		if o.csv {
 			fmt.Println("#", t.Title)
 			fmt.Print(t.CSV())
 		} else {
 			fmt.Println(t.Format())
 		}
-		if chart {
+		if o.chart {
 			fmt.Println(t.Chart(64, 16))
 		}
 		return nil
@@ -100,51 +172,41 @@ func run(fig string, trials int, seed uint64, workers int, csv, chart bool) erro
 			return emit(exp.AddrAblation(meshSuite(), 32, 4096, 4))
 		},
 		"policy": func() error {
-			return emit(exp.PolicyAblation(128, cfg, model.DefaultSoftware(), trials, seed, 32, 4096))
+			return emit(exp.PolicyAblation(128, cfg, model.DefaultSoftware(), o.trials, o.seed, 32, 4096, ex))
 		},
 		"e1": func() error {
-			s := exp.DefaultSuite(exp.ButterflyPlatform(128, cfg))
-			s.Trials, s.Seed, s.Workers = trials, seed, workers
-			return emit(exp.ButterflyTemporal(s, 32, exp.DefaultSizes()))
+			return emit(exp.ButterflyTemporal(newSuite(exp.ButterflyPlatform(128, cfg)), 32, exp.DefaultSizes()))
 		},
 		"h1": func() error {
-			s := exp.DefaultSuite(exp.HypercubePlatform(8, cfg))
-			s.Trials, s.Seed, s.Workers = trials, seed, workers
-			return emit(exp.HypercubeSizes(s, 32, exp.DefaultSizes()))
+			return emit(exp.HypercubeSizes(newSuite(exp.HypercubePlatform(8, cfg)), 32, exp.DefaultSizes()))
 		},
 		"model": func() error {
 			return emit(exp.ModelValidation(meshSuite(), []int{4, 8, 16, 32, 64, 128, 256}, 4096))
 		},
 		"b4": func() error {
-			s := exp.DefaultSuite(exp.MeshPlatform(16, 16, cfg))
-			s.Trials, s.Seed, s.Workers = trials, seed, workers
 			sizes := []int{256, 1024, 4096, 16384, 65536, 262144, 1048576}
-			return emit(exp.BroadcastCrossover(s, sizes))
+			return emit(exp.BroadcastCrossover(meshSuite(), sizes))
 		},
 		"t1": func() error {
-			s := exp.DefaultSuite(exp.TorusPlatform(16, 16, cfg))
-			s.Trials, s.Seed, s.Workers = trials, seed, workers
-			return emit(exp.TorusSizes(s, 32, exp.DefaultSizes()))
+			return emit(exp.TorusSizes(newSuite(exp.TorusPlatform(16, 16, cfg)), 32, exp.DefaultSizes()))
 		},
 		"conc": func() error {
 			return emit(exp.ConcurrentInterference(meshSuite(), []int{1, 2, 4, 8}, 16, 4096))
 		},
 		"e2": func() error {
-			s := exp.DefaultSuite(exp.ButterflyPlatform(128, cfg))
-			s.Trials, s.Seed, s.Workers = trials, seed, workers
-			return emit(exp.TemporalTuning(s, 32, 4096, 400))
+			return emit(exp.TemporalTuning(newSuite(exp.ButterflyPlatform(128, cfg)), 32, 4096, 400))
 		},
 		"f1": func() error {
 			// A k=32 chain spans the fabric, so a run survives only if every
 			// hop can route around its dead links; past a few percent almost
 			// no run delivers. Sweep the transition region.
-			return emit(exp.FaultSweep(meshSuite(), bminSuite(), 32, 4096, []int{0, 1, 2, 3, 4, 5}, seed))
+			return emit(exp.FaultSweep(meshSuite(), bminSuite(), 32, 4096, []int{0, 1, 2, 3, 4, 5}, o.seed))
 		},
 		"f2": func() error {
 			// The same fault plans as F1, now with the recovery layer on:
 			// completion latency, delivered fraction vs the reachability
 			// oracle, and the retransmission overhead bought.
-			f2, err := exp.RecoverSweep(meshSuite(), bminSuite(), 32, 4096, []int{0, 1, 2, 3, 4, 5}, seed)
+			f2, err := exp.RecoverSweep(meshSuite(), bminSuite(), 32, 4096, []int{0, 1, 2, 3, 4, 5}, o.seed)
 			if err != nil {
 				return err
 			}
@@ -157,22 +219,33 @@ func run(fig string, trials int, seed uint64, workers int, csv, chart bool) erro
 		},
 	}
 
-	order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2"}
-	if fig == "all" {
-		for _, name := range order {
-			fmt.Printf("==== %s ====\n", name)
-			if err := figures[name](); err != nil {
-				return fmt.Errorf("figure %s: %w", name, err)
+	runFigs := func() error {
+		order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2"}
+		if o.fig == "all" {
+			for _, name := range order {
+				fmt.Printf("==== %s ====\n", name)
+				if err := figures[name](); err != nil {
+					return fmt.Errorf("figure %s: %w", name, err)
+				}
+				fmt.Println()
 			}
-			fmt.Println()
+			return nil
 		}
-		return nil
+		f, ok := figures[o.fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %q (want one of %s, all)", o.fig, strings.Join(order, ", "))
+		}
+		return f()
 	}
-	f, ok := figures[fig]
-	if !ok {
-		return fmt.Errorf("unknown figure %q (want one of %s, all)", fig, strings.Join(order, ", "))
+	if err := runFigs(); err != nil {
+		return err
 	}
-	return f()
+
+	ex.Summary.Finish(o.fig, o.shard, o.workers, cacheDir, time.Since(start).Milliseconds())
+	if o.summary != "" {
+		return ex.Summary.WriteFile(o.summary)
+	}
+	return nil
 }
 
 func indent(s, pad string) string {

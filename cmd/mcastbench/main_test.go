@@ -1,7 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -37,7 +40,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 }
 
 func TestRunFigure1(t *testing.T) {
-	out, err := capture(t, func() error { return run("1", 2, 1, 1, false, false) })
+	out, err := capture(t, func() error { return run(options{fig: "1", trials: 2, seed: 1, workers: 1}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func TestRunFigure1(t *testing.T) {
 }
 
 func TestRunRatioText(t *testing.T) {
-	out, err := capture(t, func() error { return run("ratio", 2, 1, 1, false, true) })
+	out, err := capture(t, func() error { return run(options{fig: "ratio", trials: 2, seed: 1, workers: 1, chart: true}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +60,7 @@ func TestRunRatioText(t *testing.T) {
 }
 
 func TestRunFigure3CSV(t *testing.T) {
-	out, err := capture(t, func() error { return run("3", 2, 1, 1, true, false) })
+	out, err := capture(t, func() error { return run(options{fig: "3", trials: 2, seed: 1, workers: 1, csv: true}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestRunFigure3CSV(t *testing.T) {
 }
 
 func TestRunHypercube(t *testing.T) {
-	out, err := capture(t, func() error { return run("h1", 1, 1, 1, false, false) })
+	out, err := capture(t, func() error { return run(options{fig: "h1", trials: 1, seed: 1, workers: 1}) })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +80,7 @@ func TestRunHypercube(t *testing.T) {
 }
 
 func TestRunUnknownFigure(t *testing.T) {
-	_, err := capture(t, func() error { return run("nope", 2, 1, 1, false, false) })
+	_, err := capture(t, func() error { return run(options{fig: "nope", trials: 2, seed: 1, workers: 1}) })
 	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
 		t.Fatalf("err = %v", err)
 	}
@@ -85,7 +88,7 @@ func TestRunUnknownFigure(t *testing.T) {
 
 func TestRunDeterministicOutput(t *testing.T) {
 	f := func() string {
-		out, err := capture(t, func() error { return run("conc", 2, 5, 1, false, true) })
+		out, err := capture(t, func() error { return run(options{fig: "conc", trials: 2, seed: 5, workers: 1, chart: true}) })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,5 +96,74 @@ func TestRunDeterministicOutput(t *testing.T) {
 	}
 	if f() != f() {
 		t.Fatal("same seed produced different tables")
+	}
+}
+
+// TestRunShardCacheMerge: the CLI flags compose end to end — two shard
+// runs fill a cache, the merge run recomputes nothing and prints the
+// same bytes as a serial cold run, and the summary records it.
+func TestRunShardCacheMerge(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "cache")
+	sumPath := filepath.Join(dir, "summary.json")
+	serial, err := capture(t, func() error {
+		return run(options{fig: "conc", trials: 2, seed: 5, workers: 1})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sh := 0; sh < 2; sh++ {
+		out, err := capture(t, func() error {
+			return run(options{fig: "conc", trials: 2, seed: 5, workers: 1,
+				shard: fmt.Sprintf("%d/2", sh), cacheDir: cache})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "deferred") {
+			t.Fatalf("shard %d did not defer its table:\n%s", sh, out)
+		}
+	}
+	merged, err := capture(t, func() error {
+		return run(options{fig: "conc", trials: 2, seed: 5, workers: 1,
+			cacheDir: cache, resume: true, summary: sumPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != serial {
+		t.Fatalf("merge differs from serial cold run:\nserial:\n%s\nmerged:\n%s", serial, merged)
+	}
+	buf, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Computed int  `json:"computed"`
+		Cached   int  `json:"cached"`
+		Complete bool `json:"complete"`
+	}
+	if err := json.Unmarshal(buf, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Computed != 0 || sum.Cached == 0 || !sum.Complete {
+		t.Fatalf("summary = %+v, want computed 0, cached > 0, complete", sum)
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if _, _, err := parseShard("2/2"); err == nil {
+		t.Fatal("shard index == n must be rejected")
+	}
+	if _, _, err := parseShard("junk"); err == nil {
+		t.Fatal("malformed shard must be rejected")
+	}
+	i, n, err := parseShard("1/4")
+	if err != nil || i != 1 || n != 4 {
+		t.Fatalf("parseShard(1/4) = %d, %d, %v", i, n, err)
+	}
+	i, n, err = parseShard("")
+	if err != nil || i != 0 || n != 1 {
+		t.Fatalf("parseShard(\"\") = %d, %d, %v", i, n, err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/model"
 	recov "repro/internal/recover"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/torus"
 	"repro/internal/trace"
@@ -52,6 +53,7 @@ func main() {
 		fseed    = flag.Uint64("fault-seed", 1, "fault plan seed (same seed = same failed links)")
 		deadline = flag.Int64("deadline", 0, "abort the multicast after this many cycles (0 = generous default)")
 		rec      = flag.Bool("recover", false, "run the reliable-delivery layer (timeout/retransmit, tree repair, binomial fallback); requires a fault flag")
+		cacheDir = flag.String("cache", "", "content-addressed result cache directory (reuse an identical prior run; ignored with -trace/-heatmap)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 		verbose: *verbose, gantt: *gantt, heatmap: *heatmap,
 		faults: *faults, degraded: *degraded, flaky: *flaky,
 		faultSeed: *fseed, deadline: *deadline, recover: *rec,
+		cacheDir: *cacheDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
@@ -81,7 +84,8 @@ type options struct {
 	faults, degraded, flaky float64 // percentages of fabric links
 	faultSeed               uint64
 	deadline                int64
-	recover                 bool // reliable delivery instead of plain mcastsim
+	recover                 bool   // reliable delivery instead of plain mcastsim
+	cacheDir                string // content-addressed result cache, "" = off
 }
 
 func run(o options) error {
@@ -90,19 +94,22 @@ func run(o options) error {
 	k, bytes, seed, addrB, verbose := o.k, o.bytes, o.seed, o.addrB, o.verbose
 	cfg := wormhole.DefaultConfig()
 	var (
-		topo    wormhole.Topology
-		less    func(a, b int) bool
-		n       int
-		theMesh *mesh.Mesh
+		topo     wormhole.Topology
+		less     func(a, b int) bool
+		n        int
+		theMesh  *mesh.Mesh
+		platform string // cache-key fabric description
 	)
 	switch topoName {
 	case "mesh":
 		m := mesh.New2D(w, h)
 		theMesh = m
 		topo, less, n = m, m.DimOrderLess, m.NumNodes()
+		platform = fmt.Sprintf("mesh%dx%d", w, h)
 	case "torus":
 		tr := torus.New2D(w, h)
 		topo, less, n = tr, tr.DimOrderLess, tr.NumNodes()
+		platform = fmt.Sprintf("torus%dx%d", w, h)
 	case "bmin":
 		var pol bmin.AscentPolicy
 		switch policyName {
@@ -119,9 +126,11 @@ func run(o options) error {
 		}
 		b := bmin.New(nodes, pol)
 		topo, less, n = b, b.LexLess, nodes
+		platform = fmt.Sprintf("bmin%d/%s", nodes, policyName)
 	case "bfly":
 		b := bfly.New(nodes)
 		topo, less, n = b, b.LexLess, nodes
+		platform = fmt.Sprintf("bfly%d", nodes)
 	default:
 		return fmt.Errorf("unknown topology %q", topoName)
 	}
@@ -216,6 +225,34 @@ func run(o options) error {
 		}
 	}
 
+	// The cache keys the measured run on every input that shapes it. A
+	// -trace/-heatmap run must execute for real (the observers are the
+	// output), so the cache is bypassed there.
+	var cache *runner.Cache
+	if o.cacheDir != "" {
+		if o.gantt || o.heatmap {
+			fmt.Fprintln(os.Stderr, "netsim: -trace/-heatmap need a live run; ignoring -cache")
+		} else {
+			cache, err = runner.OpenCache(o.cacheDir)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	key := runner.Key{
+		Mode: "netsim", Platform: platform, Algo: algoName, Soft: softwareKey(soft),
+		K: k, Bytes: bytes, Seed: seed, AddrBytes: addrB, THold: thold, TEnd: tend,
+		Extra: fmt.Sprintf("deadline=%d", o.deadline),
+	}
+	if o.recover {
+		key.Mode = "netsim-recover"
+	}
+	if plan != nil {
+		key.FaultSeed = o.faultSeed
+		key.Extra = fmt.Sprintf("dead=%g,degraded=%g,flaky=%g,deadline=%d",
+			o.faults, o.degraded, o.flaky, o.deadline)
+	}
+
 	fmt.Printf("fabric: %s (%d nodes)   algorithm: %s   k=%d   message=%d bytes\n",
 		topoName, n, algoName, k, bytes)
 	if plan != nil {
@@ -225,13 +262,28 @@ func run(o options) error {
 		thold, tend, float64(thold)/float64(tend))
 
 	if o.recover {
-		res, err := recov.Run(net, tab, ch, root, bytes, recov.Config{
-			Sim:  mainCfg,
-			TEnd: tend,
-			Seed: seed,
-		})
-		if err != nil {
-			return err
+		var res recov.Result
+		hit := false
+		if cache != nil {
+			if cr, ok := cache.Load(key); ok {
+				res, hit = recoverFromCache(cr), true
+				fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
+			}
+		}
+		if !hit {
+			res, err = recov.Run(net, tab, ch, root, bytes, recov.Config{
+				Sim:  mainCfg,
+				TEnd: tend,
+				Seed: seed,
+			})
+			if err != nil {
+				return err
+			}
+			if cache != nil {
+				if err := cache.Store(key, recoverToCache(res)); err != nil {
+					return err
+				}
+			}
 		}
 		var counts [4]int
 		for i, s := range res.Status {
@@ -262,9 +314,24 @@ func run(o options) error {
 		return nil
 	}
 
-	res, err := mcastsim.Run(net, tab, ch, root, bytes, mainCfg)
-	if err != nil {
-		return err
+	var res mcastsim.Result
+	hit := false
+	if cache != nil {
+		if cr, ok := cache.Load(key); ok {
+			res, hit = mcastFromCache(cr), true
+			fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
+		}
+	}
+	if !hit {
+		res, err = mcastsim.Run(net, tab, ch, root, bytes, mainCfg)
+		if err != nil {
+			return err
+		}
+		if cache != nil {
+			if err := cache.Store(key, mcastToCache(res)); err != nil {
+				return err
+			}
+		}
 	}
 	fmt.Printf("multicast latency:   %d cycles\n", res.Latency)
 	fmt.Printf("messages sent:       %d\n", res.Worms)
@@ -289,6 +356,96 @@ func run(o options) error {
 	}
 	printTraces()
 	return nil
+}
+
+// softwareKey canonically encodes the software cost model for cache
+// keys (same encoding as internal/exp's cell keys).
+func softwareKey(soft model.Software) string {
+	enc := func(l model.Linear) string { return fmt.Sprintf("%g+%g/B", l.Fixed, l.PerByte) }
+	return fmt.Sprintf("send=%s,recv=%s,hold=%s", enc(soft.Send), enc(soft.Recv), enc(soft.Hold))
+}
+
+// mcastToCache/mcastFromCache round-trip a plain simulation report
+// through the cell cache. Every field is an int64 cycle or message
+// count, so the float64 metric encoding is exact.
+func mcastToCache(res mcastsim.Result) runner.Result {
+	return runner.Result{
+		Metrics: map[string]float64{
+			"latency": float64(res.Latency),
+			"worms":   float64(res.Worms),
+			"blocked": float64(res.BlockedCycles),
+			"wait":    float64(res.InjectWaitCycles),
+			"cycles":  float64(res.Cycles),
+		},
+		Series: map[string][]int64{"deliveries": res.Deliveries},
+	}
+}
+
+func mcastFromCache(r runner.Result) mcastsim.Result {
+	return mcastsim.Result{
+		Latency:          int64(r.Metric("latency")),
+		Deliveries:       r.Series["deliveries"],
+		Worms:            int64(r.Metric("worms")),
+		BlockedCycles:    int64(r.Metric("blocked")),
+		InjectWaitCycles: int64(r.Metric("wait")),
+		Cycles:           int64(r.Metric("cycles")),
+	}
+}
+
+// recoverToCache/recoverFromCache do the same for a reliable-delivery
+// report, carrying the per-position statuses as an int64 series.
+func recoverToCache(res recov.Result) runner.Result {
+	status := make([]int64, len(res.Status))
+	for i, s := range res.Status {
+		status[i] = int64(s)
+	}
+	oh := res.Overhead
+	return runner.Result{
+		Metrics: map[string]float64{
+			"latency":      float64(res.Latency),
+			"delivered":    float64(res.Delivered),
+			"abandoned":    float64(res.Abandoned),
+			"fallback_at":  float64(res.FallbackAt),
+			"worms":        float64(res.Worms),
+			"blocked":      float64(res.BlockedCycles),
+			"wait":         float64(res.InjectWaitCycles),
+			"cycles":       float64(res.Cycles),
+			"sends":        float64(oh.Sends),
+			"retransmits":  float64(oh.Retransmits),
+			"cancelled":    float64(oh.Cancelled),
+			"repair_sends": float64(oh.RepairSends),
+			"orphan_sends": float64(oh.OrphanSends),
+			"repairs":      float64(oh.Repairs),
+		},
+		Series: map[string][]int64{"deliveries": res.Deliveries, "status": status},
+	}
+}
+
+func recoverFromCache(r runner.Result) recov.Result {
+	status := make([]mcastsim.DestStatus, len(r.Series["status"]))
+	for i, s := range r.Series["status"] {
+		status[i] = mcastsim.DestStatus(s)
+	}
+	return recov.Result{
+		Latency:    int64(r.Metric("latency")),
+		Deliveries: r.Series["deliveries"],
+		Status:     status,
+		Delivered:  int(r.Metric("delivered")),
+		Abandoned:  int(r.Metric("abandoned")),
+		Overhead: mcastsim.Overhead{
+			Sends:       int64(r.Metric("sends")),
+			Retransmits: int64(r.Metric("retransmits")),
+			Cancelled:   int64(r.Metric("cancelled")),
+			RepairSends: int64(r.Metric("repair_sends")),
+			OrphanSends: int64(r.Metric("orphan_sends")),
+			Repairs:     int64(r.Metric("repairs")),
+		},
+		FallbackAt:       int64(r.Metric("fallback_at")),
+		Worms:            int64(r.Metric("worms")),
+		BlockedCycles:    int64(r.Metric("blocked")),
+		InjectWaitCycles: int64(r.Metric("wait")),
+		Cycles:           int64(r.Metric("cycles")),
+	}
 }
 
 // printRecoveredDeliveries lists every chain member in delivery order

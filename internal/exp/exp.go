@@ -23,6 +23,7 @@ import (
 	"repro/internal/mcastsim"
 	"repro/internal/mesh"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/torus"
 	"repro/internal/wormhole"
@@ -122,6 +123,12 @@ func ButterflyPlatform(nodes int, cfg wormhole.Config) Platform {
 type Algorithm struct {
 	// Name labels the series.
 	Name string
+	// ID is the tree-shape family ("binomial", "opt", "seq") — the
+	// cache identity of the algorithm. Display names vary per figure
+	// ("U-mesh", "U-torus", "OPT (free addresses)"), so cell keys use
+	// ID+Ordered instead and identical computations share cache entries
+	// across figures.
+	ID string
 	// Ordered selects the architecture chain; false keeps the random
 	// sample order (the architecture-independent OPT-tree).
 	Ordered bool
@@ -130,11 +137,20 @@ type Algorithm struct {
 	Table func(k int, thold, tend model.Time) core.SplitTable
 }
 
+// keyID is the algorithm's cache identity for cell keys.
+func (a Algorithm) keyID() string {
+	if a.Ordered {
+		return a.ID
+	}
+	return a.ID + "/unordered"
+}
+
 // Binomial returns the recursive-doubling algorithm under the given name
 // (U-mesh on meshes, U-min on BMINs).
 func Binomial(name string) Algorithm {
 	return Algorithm{
 		Name:    name,
+		ID:      "binomial",
 		Ordered: true,
 		Table:   func(k int, _, _ model.Time) core.SplitTable { return core.BinomialTable{Max: k} },
 	}
@@ -145,6 +161,7 @@ func Binomial(name string) Algorithm {
 func Opt(name string) Algorithm {
 	return Algorithm{
 		Name:    name,
+		ID:      "opt",
 		Ordered: true,
 		Table:   func(k int, thold, tend model.Time) core.SplitTable { return core.NewOptTable(k, thold, tend) },
 	}
@@ -163,6 +180,7 @@ func OptUnordered(name string) Algorithm {
 func Sequential(name string) Algorithm {
 	return Algorithm{
 		Name:    name,
+		ID:      "seq",
 		Ordered: true,
 		Table:   func(k int, _, _ model.Time) core.SplitTable { return core.SequentialTable{Max: k} },
 	}
@@ -180,6 +198,58 @@ type Suite struct {
 	Seed uint64
 	// Workers bounds parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// Exec, when set, runs the suite's cell manifests through a shared
+	// experiment engine (sharding, on-disk cache, progress, summary).
+	// Nil runs everything in-process with Workers parallelism — the
+	// plain serial-cold behavior.
+	Exec *runner.Exec
+}
+
+// exec returns the engine to run cell manifests on.
+func (s *Suite) exec() *runner.Exec {
+	if s.Exec != nil {
+		return s.Exec
+	}
+	return &runner.Exec{Workers: s.Workers}
+}
+
+// softKey canonically encodes the software cost model for cell keys.
+func (s *Suite) softKey() string {
+	enc := func(l model.Linear) string { return fmt.Sprintf("%g+%g/B", l.Fixed, l.PerByte) }
+	return fmt.Sprintf("send=%s,recv=%s,hold=%s", enc(s.Software.Send), enc(s.Software.Recv), enc(s.Software.Hold))
+}
+
+// mcastCell builds the engine cell for one healthy-fabric multicast:
+// algorithm a over the trial placement of k nodes, bytes-byte messages,
+// under measured (thold, tend). The key pins every input, so any figure
+// requesting the same computation shares the same cache entry.
+func (s *Suite) mcastCell(a Algorithm, k, bytes, trial int, thold, tend model.Time) runner.Cell {
+	return runner.Cell{
+		Key: runner.Key{
+			Mode: "mcast", Platform: s.Platform.Name, Algo: a.keyID(), Soft: s.softKey(),
+			K: k, Bytes: bytes, Trial: trial, Seed: s.Seed, AddrBytes: s.AddrBytes,
+			THold: thold, TEnd: tend,
+		},
+		Run: func() (runner.Result, error) {
+			addrs := s.placement(trial, k)
+			res, err := s.runOnce(a, addrs, bytes, thold, tend)
+			if err != nil {
+				return runner.Result{}, err
+			}
+			return mcastResult(res), nil
+		},
+	}
+}
+
+// mcastResult flattens a simulator result into the engine's cell
+// payload. Every metric is an exact integer cycle count widened to
+// float64, so cache round-trips reproduce it bit for bit.
+func mcastResult(res mcastsim.Result) runner.Result {
+	return runner.Result{Metrics: map[string]float64{
+		"latency": float64(res.Latency),
+		"blocked": float64(res.BlockedCycles),
+		"wait":    float64(res.InjectWaitCycles),
+	}}
 }
 
 // DefaultSuite returns the paper's methodology on the given platform:
@@ -299,6 +369,12 @@ type Table struct {
 	Rows       []Row
 	// Notes records methodology details (measured parameters, trials).
 	Notes []string
+	// Incomplete marks a sharded partial run: some cells were neither
+	// computed by this shard nor present in the cache, so Rows is empty
+	// and the table must not be rendered or compared. Once every shard
+	// has landed its cells in the shared cache, re-running the figure
+	// merges them into the full table.
+	Incomplete bool
 }
 
 // sweep runs the cross product of xs and algorithms; kOf/bytesOf map an x
@@ -337,40 +413,38 @@ func (s *Suite) sweep(title, xlabel string, xs []int, algos []Algorithm, kOf, by
 
 	type job struct{ xi, ai, trial int }
 	var jobs []job
-	for xi := range xs {
+	var cells []runner.Cell
+	for xi, x := range xs {
+		k, b := kOf(x), bytesOf(x)
 		for ai := range algos {
 			for tr := 0; tr < trials; tr++ {
 				jobs = append(jobs, job{xi, ai, tr})
+				cells = append(cells, s.mcastCell(algos[ai], k, b, tr, s.Software.Hold.At(b), tend[b]))
 			}
 		}
 	}
-	results := make([]mcastsim.Result, len(jobs))
-	errs := make([]error, len(jobs))
-	sim.ForEach(len(jobs), s.Workers, func(i int) {
-		j := jobs[i]
-		x := xs[j.xi]
-		k, b := kOf(x), bytesOf(x)
-		addrs := s.placement(j.trial, k)
-		results[i], errs[i] = s.runOnce(algos[j.ai], addrs, b, s.Software.Hold.At(b), tend[b])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("exp: %s x=%d trial %d: %w", algos[jobs[i].ai].Name, xs[jobs[i].xi], jobs[i].trial, err)
-		}
+	results, have, err := s.exec().Run(sweepLabel(title), cells)
+	if err != nil {
+		return nil, err
+	}
+	if runner.Missing(have) > 0 {
+		t.Incomplete = true
+		return t, nil
 	}
 
 	// One pass over the results, indexed by (xi, ai). Jobs were enumerated
 	// xi-major then ai then trial, so each cell still accumulates its
 	// trials in the same order as the former per-cell rescan — the online
 	// Stats sums are bit-identical, just O(jobs) instead of
-	// O(rows·algos·jobs).
+	// O(rows·algos·jobs), and cached cells replay the exact values a
+	// cold run would compute.
 	type agg struct{ lat, blocked, wait sim.Stats }
 	aggs := make([]agg, len(xs)*len(algos))
 	for i, j := range jobs {
 		a := &aggs[j.xi*len(algos)+j.ai]
-		a.lat.Add(float64(results[i].Latency))
-		a.blocked.Add(float64(results[i].BlockedCycles))
-		a.wait.Add(float64(results[i].InjectWaitCycles))
+		a.lat.Add(results[i].Metric("latency"))
+		a.blocked.Add(results[i].Metric("blocked"))
+		a.wait.Add(results[i].Metric("wait"))
 	}
 	t.Rows = make([]Row, len(xs))
 	for xi, x := range xs {
@@ -388,6 +462,16 @@ func (s *Suite) sweep(title, xlabel string, xs []int, algos []Algorithm, kOf, by
 		t.Rows[xi] = row
 	}
 	return t, nil
+}
+
+// sweepLabel names an engine batch after its table title; composed
+// sweeps pass empty titles, which would make progress lines and
+// summaries unreadable.
+func sweepLabel(title string) string {
+	if title == "" {
+		return "sweep"
+	}
+	return title
 }
 
 // SweepSizes is the Figure 2 family: fixed multicast size k, message size

@@ -204,7 +204,7 @@ func TestAddrAblationCharges(t *testing.T) {
 // TestPolicyAblationRuns and keeps tuned OPT-min contention-free under
 // the adaptive policies too.
 func TestPolicyAblationRuns(t *testing.T) {
-	tab, err := PolicyAblation(64, wormhole.DefaultConfig(), model.DefaultSoftware(), 3, 11, 16, 2048)
+	tab, err := PolicyAblation(64, wormhole.DefaultConfig(), model.DefaultSoftware(), 3, 11, 16, 2048, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

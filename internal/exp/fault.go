@@ -11,10 +11,52 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
-	"repro/internal/mcastsim"
 	"repro/internal/model"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
+
+// faultPlanSeed derives the per-(row, trial) fault-plan seed. The plan
+// depends on the row and trial but not the column, so the two mesh
+// algorithms face identical dead-link sets (and likewise the two BMIN
+// algorithms) — common random numbers across the series, as in the
+// healthy sweeps. F2 uses the same formula, so its plans match F1's row
+// for row.
+func faultPlanSeed(faultSeed uint64, pi, trial int) uint64 {
+	return faultSeed + uint64(pi)*0x9e3779b9 + uint64(trial)*0x85ebca6b
+}
+
+// faultCell builds the engine cell for one multicast on a degraded
+// fabric: pct percent dead links under the derived plan seed. A failed
+// run (unreachable destination, watchdog abort) is data, not an error —
+// it caches as Failed and the merge excludes it. pct 0 falls back to
+// the plain healthy cell so F1's baseline row shares cache entries with
+// the healthy sweeps at the same parameters.
+func (s *Suite) faultCell(a Algorithm, k, bytes, trial, pct int, planSeed uint64, thold, tend model.Time) runner.Cell {
+	if pct == 0 {
+		return s.mcastCell(a, k, bytes, trial, thold, tend)
+	}
+	return runner.Cell{
+		Key: runner.Key{
+			Mode: "fault", Platform: s.Platform.Name, Algo: a.keyID(), Soft: s.softKey(),
+			K: k, Bytes: bytes, Trial: trial, Seed: s.Seed, AddrBytes: s.AddrBytes,
+			THold: thold, TEnd: tend, FaultSeed: planSeed, DeadPct: pct,
+		},
+		Run: func() (runner.Result, error) {
+			net := s.Platform.NewNet()
+			net.SetFaults(fault.MustPlan(net.Topology(), fault.Spec{
+				DeadFrac: float64(pct) / 100,
+				Seed:     planSeed,
+			}))
+			addrs := s.placement(trial, k)
+			res, err := s.runOnceOn(net, a, addrs, bytes, thold, tend)
+			if err != nil {
+				return runner.Result{Failed: true}, nil
+			}
+			return mcastResult(res), nil
+		},
+	}
+}
 
 // FaultSweep runs experiment F1: latency vs % failed links for U-mesh
 // and OPT-mesh on the mesh suite and U-min and OPT-min on the BMIN
@@ -77,51 +119,37 @@ func FaultSweep(meshSuite, bminSuite *Suite, k, bytes int, pcts []int, faultSeed
 
 	type job struct{ pi, ci, trial int }
 	var jobs []job
-	for pi := range pcts {
-		for ci := range cols {
+	var cells []runner.Cell
+	for pi, pct := range pcts {
+		for ci, c := range cols {
 			for tr := 0; tr < trials; tr++ {
 				jobs = append(jobs, job{pi, ci, tr})
+				cells = append(cells, c.suite.faultCell(c.algo, k, bytes, tr, pct,
+					faultPlanSeed(faultSeed, pi, tr), c.suite.Software.Hold.At(bytes), tends[ci]))
 			}
 		}
 	}
-	results := make([]mcastsim.Result, len(jobs))
-	failed := make([]bool, len(jobs))
-	sim.ForEach(len(jobs), meshSuite.Workers, func(i int) {
-		j := jobs[i]
-		c := cols[j.ci]
-		net := c.suite.Platform.NewNet()
-		if pct := pcts[j.pi]; pct > 0 {
-			// The plan depends on (row, trial) but not the column, so the
-			// two mesh algorithms face identical dead-link sets (and
-			// likewise the two BMIN algorithms) — common random numbers
-			// across the series, as in the healthy sweeps.
-			plan := fault.MustPlan(net.Topology(), fault.Spec{
-				DeadFrac: float64(pct) / 100,
-				Seed:     faultSeed + uint64(j.pi)*0x9e3779b9 + uint64(j.trial)*0x85ebca6b,
-			})
-			net.SetFaults(plan)
-		}
-		addrs := c.suite.placement(j.trial, k)
-		res, err := c.suite.runOnceOn(net, c.algo, addrs, bytes, c.suite.Software.Hold.At(bytes), tends[j.ci])
-		if err != nil {
-			failed[i] = true
-			return
-		}
-		results[i] = res
-	})
+	results, have, err := meshSuite.exec().Run(t.Title, cells)
+	if err != nil {
+		return nil, err
+	}
+	if runner.Missing(have) > 0 {
+		t.Incomplete = true
+		return t, nil
+	}
 
 	type agg struct {
 		lat, blocked, wait sim.Stats
 	}
 	aggs := make([]agg, len(pcts)*len(cols))
 	for i, j := range jobs {
-		if failed[i] {
+		if results[i].Failed {
 			continue
 		}
 		a := &aggs[j.pi*len(cols)+j.ci]
-		a.lat.Add(float64(results[i].Latency))
-		a.blocked.Add(float64(results[i].BlockedCycles))
-		a.wait.Add(float64(results[i].InjectWaitCycles))
+		a.lat.Add(results[i].Metric("latency"))
+		a.blocked.Add(results[i].Metric("blocked"))
+		a.wait.Add(results[i].Metric("wait"))
 	}
 	t.Rows = make([]Row, len(pcts))
 	for pi, p := range pcts {

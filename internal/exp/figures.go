@@ -10,6 +10,7 @@ import (
 	"repro/internal/mcastsim"
 	"repro/internal/model"
 	"repro/internal/plan"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/temporal"
 	"repro/internal/wormhole"
@@ -125,6 +126,9 @@ func ContentionComparison(meshSuite, bminSuite *Suite, k int, sizes []int) (*Tab
 	if err != nil {
 		return nil, err
 	}
+	// Run the BMIN half even when the mesh half is incomplete: a shard
+	// must enumerate (and compute its slice of) every sub-sweep's cells,
+	// or the merge run would find the later batches missing forever.
 	bt, err := bminSuite.SweepSizes("", k, sizes, []Algorithm{OptUnordered("OPT-tree"), Opt("OPT-min")})
 	if err != nil {
 		return nil, err
@@ -140,6 +144,10 @@ func ContentionComparison(meshSuite, bminSuite *Suite, k int, sizes []int) (*Tab
 			"OPT-min @ " + bminSuite.Platform.Name,
 		},
 		Notes: append(mt.Notes, bt.Notes...),
+	}
+	if mt.Incomplete || bt.Incomplete {
+		out.Incomplete = true
+		return out, nil
 	}
 	for i, r := range mt.Rows {
 		br := bt.Rows[i]
@@ -208,6 +216,10 @@ func AddrAblation(s *Suite, k, bytes, addrBytes int) (*Table, error) {
 		Algorithms: []string{algos[0].Name, algos[1].Name},
 		Notes:      append(bt.Notes, ct.Notes...),
 	}
+	if bt.Incomplete || ct.Incomplete {
+		out.Incomplete = true
+		return out, nil
+	}
 	for i, r := range bt.Rows {
 		out.Rows = append(out.Rows, Row{X: r.X, Cells: []Cell{r.Cells[0], ct.Rows[i].Cells[0]}})
 	}
@@ -244,29 +256,67 @@ func BroadcastCrossover(s *Suite, sizes []int) (*Table, error) {
 	}
 	ch := chain.New(addrs, s.Platform.Less)
 	root, _ := ch.Index(0)
+	// Calibration stays outside the cells: t_end is a deterministic probe,
+	// cheap next to a full-machine broadcast, and every shard needs it to
+	// key its cells identically.
+	mcast := func(bytes int, tab core.SplitTable, algo string, thold, tend model.Time) runner.Cell {
+		return runner.Cell{
+			Key: runner.Key{
+				Mode: "bcast", Platform: s.Platform.Name, Algo: algo, Soft: s.softKey(),
+				K: p, Bytes: bytes, AddrBytes: s.AddrBytes, THold: thold, TEnd: tend,
+			},
+			Run: func() (runner.Result, error) {
+				res, err := mcastsim.Run(s.Platform.NewNet(), tab, ch, root, bytes, s.runConfig())
+				if err != nil {
+					return runner.Result{}, err
+				}
+				return mcastResult(res), nil
+			},
+		}
+	}
+	var cells []runner.Cell
 	for _, bytes := range sizes {
 		tend, err := s.MeasureTEnd(bytes)
 		if err != nil {
 			return nil, err
 		}
 		thold := s.Software.Hold.At(bytes)
-		um, err := mcastsim.Run(s.Platform.NewNet(), core.BinomialTable{Max: p}, ch, root, bytes, s.runConfig())
-		if err != nil {
-			return nil, err
+		bytes := bytes
+		cells = append(cells,
+			mcast(bytes, core.BinomialTable{Max: p}, "binomial", thold, tend),
+			mcast(bytes, core.NewOptTable(p, thold, tend), "opt", thold, tend),
+			runner.Cell{
+				Key: runner.Key{
+					Mode: "scatter", Platform: s.Platform.Name, Algo: "scatter-collect", Soft: s.softKey(),
+					K: p, Bytes: bytes, AddrBytes: s.AddrBytes,
+				},
+				Run: func() (runner.Result, error) {
+					sc, err := collective.ScatterAllgather(s.Platform.NewNet(), ch, bytes, s.runConfig())
+					if err != nil {
+						return runner.Result{}, err
+					}
+					return runner.Result{Metrics: map[string]float64{
+						"latency": float64(sc.Latency),
+						"blocked": float64(sc.BlockedCycles),
+					}}, nil
+				},
+			})
+	}
+	results, have, err := s.exec().Run(out.Title, cells)
+	if err != nil {
+		return nil, err
+	}
+	if runner.Missing(have) > 0 {
+		out.Incomplete = true
+		return out, nil
+	}
+	for bi, bytes := range sizes {
+		row := Row{X: float64(bytes), Cells: make([]Cell, 3)}
+		for ci := 0; ci < 3; ci++ {
+			r := &results[bi*3+ci]
+			row.Cells[ci] = Cell{Mean: r.Metric("latency"), Blocked: r.Metric("blocked"), N: 1}
 		}
-		opt, err := mcastsim.Run(s.Platform.NewNet(), core.NewOptTable(p, thold, tend), ch, root, bytes, s.runConfig())
-		if err != nil {
-			return nil, err
-		}
-		sc, err := collective.ScatterAllgather(s.Platform.NewNet(), ch, bytes, s.runConfig())
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, Row{X: float64(bytes), Cells: []Cell{
-			{Mean: float64(um.Latency), Blocked: float64(um.BlockedCycles), N: 1},
-			{Mean: float64(opt.Latency), Blocked: float64(opt.BlockedCycles), N: 1},
-			{Mean: float64(sc.Latency), Blocked: float64(sc.BlockedCycles), N: 1},
-		}})
+		out.Rows = append(out.Rows, row)
 	}
 	out.Notes = append(out.Notes,
 		"full-machine broadcast: placements are fixed (all nodes), so each row is one deterministic run",
@@ -336,64 +386,76 @@ func TemporalTuning(s *Suite, k, bytes, iterations int) (*Table, error) {
 	}
 	out.Notes = append(out.Notes, fmt.Sprintf("measured t_hold=%d t_end=%d; tuner: %d iterations, 2 restarts", thold, tend, iterations))
 
-	type row struct {
-		vals [5]float64
-		err  error
+	metricNames := []string{"rblocked", "lblocked", "tblocked", "rlat", "tlat"}
+	cells := make([]runner.Cell, trials)
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		cells[trial] = runner.Cell{
+			Key: runner.Key{
+				Mode: "temporal", Platform: s.Platform.Name, Algo: "opt", Soft: s.softKey(),
+				K: k, Bytes: bytes, Trial: trial, Seed: s.Seed, AddrBytes: s.AddrBytes,
+				THold: thold, TEnd: tend,
+				Extra: fmt.Sprintf("iters=%d,slack=50,restarts=2", iterations),
+			},
+			Run: func() (runner.Result, error) {
+				addrs := s.placement(trial, k)
+				runOne := func(ch chain.Chain, root int) (mcastsim.Result, error) {
+					return mcastsim.Run(s.Platform.NewNet(), tab, ch, root, bytes, s.runConfig())
+				}
+				random, err := runOne(chain.Unordered(addrs), 0)
+				if err != nil {
+					return runner.Result{}, err
+				}
+				lexCh := chain.New(addrs, s.Platform.Less)
+				lexRoot, _ := lexCh.Index(addrs[0])
+				lex, err := runOne(lexCh, lexRoot)
+				if err != nil {
+					return runner.Result{}, err
+				}
+				tuned, err := temporal.Tune(temporal.Config{
+					Topo:       s.Platform.NewNet().Topology(),
+					Software:   s.Software,
+					Slack:      50,
+					Iterations: iterations,
+					Restarts:   2,
+					Seed:       s.Seed + uint64(trial),
+				}, tab, addrs, bytes, thold, tend)
+				if err != nil {
+					return runner.Result{}, err
+				}
+				tunedRes, err := runOne(tuned.Chain, tuned.Root)
+				if err != nil {
+					return runner.Result{}, err
+				}
+				return runner.Result{Metrics: map[string]float64{
+					"rblocked": float64(random.BlockedCycles),
+					"lblocked": float64(lex.BlockedCycles),
+					"tblocked": float64(tunedRes.BlockedCycles),
+					"rlat":     float64(random.Latency),
+					"tlat":     float64(tunedRes.Latency),
+				}}, nil
+			},
+		}
 	}
-	rows := make([]row, trials)
-	sim.ForEach(trials, s.Workers, func(trial int) {
-		addrs := s.placement(trial, k)
-		runOne := func(ch chain.Chain, root int) (mcastsim.Result, error) {
-			return mcastsim.Run(s.Platform.NewNet(), tab, ch, root, bytes, s.runConfig())
-		}
-		random, err := runOne(chain.Unordered(addrs), 0)
-		if err != nil {
-			rows[trial].err = err
-			return
-		}
-		lexCh := chain.New(addrs, s.Platform.Less)
-		lexRoot, _ := lexCh.Index(addrs[0])
-		lex, err := runOne(lexCh, lexRoot)
-		if err != nil {
-			rows[trial].err = err
-			return
-		}
-		tuned, err := temporal.Tune(temporal.Config{
-			Topo:       s.Platform.NewNet().Topology(),
-			Software:   s.Software,
-			Slack:      50,
-			Iterations: iterations,
-			Restarts:   2,
-			Seed:       s.Seed + uint64(trial),
-		}, tab, addrs, bytes, thold, tend)
-		if err != nil {
-			rows[trial].err = err
-			return
-		}
-		tunedRes, err := runOne(tuned.Chain, tuned.Root)
-		if err != nil {
-			rows[trial].err = err
-			return
-		}
-		rows[trial].vals = [5]float64{
-			float64(random.BlockedCycles), float64(lex.BlockedCycles), float64(tunedRes.BlockedCycles),
-			float64(random.Latency), float64(tunedRes.Latency),
-		}
-	})
+	results, have, err := s.exec().Run(out.Title, cells)
+	if err != nil {
+		return nil, err
+	}
+	if runner.Missing(have) > 0 {
+		out.Incomplete = true
+		return out, nil
+	}
 	var agg [5]sim.Stats
-	for _, r := range rows {
-		if r.err != nil {
-			return nil, r.err
-		}
-		for i, v := range r.vals {
-			agg[i].Add(v)
+	for _, r := range results {
+		for i, name := range metricNames {
+			agg[i].Add(r.Metric(name))
 		}
 	}
-	cells := make([]Cell, 5)
-	for i := range cells {
-		cells[i] = Cell{Mean: agg[i].Mean(), CI95: agg[i].CI95(), N: agg[i].N()}
+	rowCells := make([]Cell, 5)
+	for i := range rowCells {
+		rowCells[i] = Cell{Mean: agg[i].Mean(), CI95: agg[i].CI95(), N: agg[i].N()}
 	}
-	out.Rows = []Row{{X: 0, Cells: cells}}
+	out.Rows = []Row{{X: 0, Cells: rowCells}}
 	return out, nil
 }
 
@@ -422,29 +484,37 @@ func ModelValidation(s *Suite, ks []int, bytes int) (*Table, error) {
 	}
 	out.Notes = append(out.Notes, fmt.Sprintf("measured t_hold=%d t_end=%d; %d placements per point", thold, tend, trials))
 
+	// The simulated column is the ordered OPT run at each k — exactly the
+	// healthy mcast cell, so M1 shares cache entries with the node-count
+	// sweeps at equal parameters.
+	var kept []int
+	var cells []runner.Cell
 	for _, k := range ks {
 		if k > s.Platform.Nodes {
 			continue
 		}
-		tab := core.NewOptTable(k, thold, tend)
-		analytic := float64(tab.T(k))
+		kept = append(kept, k)
+		for trial := 0; trial < trials; trial++ {
+			cells = append(cells, s.mcastCell(Opt("OPT"), k, bytes, trial, thold, tend))
+		}
+	}
+	results, have, err := s.exec().Run(out.Title, cells)
+	if err != nil {
+		return nil, err
+	}
+	if runner.Missing(have) > 0 {
+		out.Incomplete = true
+		return out, nil
+	}
+	for ki, k := range kept {
+		analytic := float64(core.NewOptTable(k, thold, tend).T(k))
 		var lat sim.Stats
-		results := make([]mcastsim.Result, trials)
-		errs := make([]error, trials)
-		sim.ForEach(trials, s.Workers, func(trial int) {
-			addrs := s.placement(trial, k)
-			ch := chain.New(addrs, s.Platform.Less)
-			root, _ := ch.Index(addrs[0])
-			results[trial], errs[trial] = mcastsim.Run(s.Platform.NewNet(), tab, ch, root, bytes, s.runConfig())
-		})
-		for i := range results {
-			if errs[i] != nil {
-				return nil, errs[i]
+		for trial := 0; trial < trials; trial++ {
+			r := results[ki*trials+trial]
+			if r.Metric("blocked") != 0 {
+				return nil, fmt.Errorf("exp: model validation requires contention-free runs; k=%d trial %d blocked", k, trial)
 			}
-			if results[i].BlockedCycles != 0 {
-				return nil, fmt.Errorf("exp: model validation requires contention-free runs; k=%d trial %d blocked", k, i)
-			}
-			lat.Add(float64(results[i].Latency))
+			lat.Add(r.Metric("latency"))
 		}
 		errPerMille := (lat.Mean() - analytic) / analytic * 1000
 		out.Rows = append(out.Rows, Row{X: float64(k), Cells: []Cell{
@@ -482,55 +552,67 @@ func ConcurrentInterference(s *Suite, groupCounts []int, k, bytes int) (*Table, 
 	out.Notes = append(out.Notes,
 		fmt.Sprintf("measured t_hold=%d t_end=%d; %d trials on %s, seed %d", thold, tend, trials, s.Platform.Name, s.Seed))
 
+	var cells []runner.Cell
 	for _, g := range groupCounts {
 		if g*k > s.Platform.Nodes {
 			return nil, fmt.Errorf("exp: %d groups of %d nodes exceed the %d-node fabric", g, k, s.Platform.Nodes)
 		}
-		var solo, conc, blocked sim.Stats
-		type trialOut struct {
-			solo, conc, blocked float64
-			err                 error
+		for trial := 0; trial < trials; trial++ {
+			g, trial := g, trial
+			cells = append(cells, runner.Cell{
+				Key: runner.Key{
+					Mode: "conc", Platform: s.Platform.Name, Algo: "opt", Soft: s.softKey(),
+					K: k, Bytes: bytes, X: g, Trial: trial, Seed: s.Seed, AddrBytes: s.AddrBytes,
+					THold: thold, TEnd: tend,
+				},
+				Run: func() (runner.Result, error) {
+					r := sim.NewRNG(s.Seed + uint64(trial)*0x51ed + uint64(g))
+					all := r.Sample(s.Platform.Nodes, g*k)
+					groups := make([]mcastsim.Group, g)
+					var soloSum float64
+					for gi := range groups {
+						addrs := all[gi*k : (gi+1)*k]
+						ch := chain.New(addrs, s.Platform.Less)
+						root, _ := ch.Index(addrs[0])
+						groups[gi] = mcastsim.Group{Tab: tab, Chain: ch, Root: root, Bytes: bytes}
+						res, err := mcastsim.Run(s.Platform.NewNet(), tab, ch, root, bytes, s.runConfig())
+						if err != nil {
+							return runner.Result{}, err
+						}
+						soloSum += float64(res.Latency)
+					}
+					batch, err := mcastsim.RunConcurrent(s.Platform.NewNet(), groups, s.runConfig())
+					if err != nil {
+						return runner.Result{}, err
+					}
+					var concSum float64
+					for _, r := range batch {
+						concSum += float64(r.Latency)
+					}
+					return runner.Result{Metrics: map[string]float64{
+						"solo":    soloSum / float64(g),
+						"conc":    concSum / float64(g),
+						"blocked": float64(batch[0].BlockedCycles),
+					}}, nil
+				},
+			})
 		}
-		outs := make([]trialOut, trials)
-		sim.ForEach(trials, s.Workers, func(trial int) {
-			r := sim.NewRNG(s.Seed + uint64(trial)*0x51ed + uint64(g))
-			all := r.Sample(s.Platform.Nodes, g*k)
-			groups := make([]mcastsim.Group, g)
-			var soloSum float64
-			for gi := range groups {
-				addrs := all[gi*k : (gi+1)*k]
-				ch := chain.New(addrs, s.Platform.Less)
-				root, _ := ch.Index(addrs[0])
-				groups[gi] = mcastsim.Group{Tab: tab, Chain: ch, Root: root, Bytes: bytes}
-				res, err := mcastsim.Run(s.Platform.NewNet(), tab, ch, root, bytes, s.runConfig())
-				if err != nil {
-					outs[trial].err = err
-					return
-				}
-				soloSum += float64(res.Latency)
-			}
-			batch, err := mcastsim.RunConcurrent(s.Platform.NewNet(), groups, s.runConfig())
-			if err != nil {
-				outs[trial].err = err
-				return
-			}
-			var concSum float64
-			for _, r := range batch {
-				concSum += float64(r.Latency)
-			}
-			outs[trial] = trialOut{
-				solo:    soloSum / float64(g),
-				conc:    concSum / float64(g),
-				blocked: float64(batch[0].BlockedCycles),
-			}
-		})
-		for _, o := range outs {
-			if o.err != nil {
-				return nil, o.err
-			}
-			solo.Add(o.solo)
-			conc.Add(o.conc)
-			blocked.Add(o.blocked)
+	}
+	results, have, err := s.exec().Run(out.Title, cells)
+	if err != nil {
+		return nil, err
+	}
+	if runner.Missing(have) > 0 {
+		out.Incomplete = true
+		return out, nil
+	}
+	for gi, g := range groupCounts {
+		var solo, conc, blocked sim.Stats
+		for trial := 0; trial < trials; trial++ {
+			r := results[gi*trials+trial]
+			solo.Add(r.Metric("solo"))
+			conc.Add(r.Metric("conc"))
+			blocked.Add(r.Metric("blocked"))
 		}
 		out.Rows = append(out.Rows, Row{X: float64(g), Cells: []Cell{
 			{Mean: solo.Mean(), CI95: solo.CI95(), N: solo.N()},
@@ -543,8 +625,9 @@ func ConcurrentInterference(s *Suite, groupCounts []int, k, bytes int) (*Table, 
 
 // PolicyAblation compares BMIN ascent policies by the contention they
 // leave in the unordered OPT-tree — the "extra paths reduce contention"
-// mechanism of Section 5 made explicit.
-func PolicyAblation(nodes int, cfg wormhole.Config, soft model.Software, trials int, seed uint64, k, bytes int) (*Table, error) {
+// mechanism of Section 5 made explicit. exec, when non-nil, shares the
+// caller's experiment engine across the per-policy suites.
+func PolicyAblation(nodes int, cfg wormhole.Config, soft model.Software, trials int, seed uint64, k, bytes int, exec *runner.Exec) (*Table, error) {
 	policies := []bmin.AscentPolicy{bmin.AscentStraight, bmin.AscentDest, bmin.AscentAdaptive, bmin.AscentAdaptiveDest}
 	out := &Table{
 		Title:      fmt.Sprintf("Ablation: BMIN ascent policy vs OPT-tree contention (k=%d, %dB)", k, bytes),
@@ -558,17 +641,30 @@ func PolicyAblation(nodes int, cfg wormhole.Config, soft model.Software, trials 
 			Software: soft,
 			Trials:   trials,
 			Seed:     seed,
+			Exec:     exec,
 		}
 		tab, err := s.SweepSizes("", k, []int{bytes}, []Algorithm{OptUnordered("OPT-tree"), Opt("OPT-min")})
 		if err != nil {
 			return nil, err
+		}
+		out.Notes = append(out.Notes, fmt.Sprintf("policy %d = %s", i, pol))
+		if tab.Incomplete {
+			// Keep iterating so every policy's cells are enumerated; only
+			// the merge is deferred.
+			out.Incomplete = true
+			continue
+		}
+		if out.Incomplete {
+			continue
 		}
 		c := tab.Rows[0].Cells
 		out.Rows = append(out.Rows, Row{X: float64(i), Cells: []Cell{
 			blockedCell(c[0]), blockedCell(c[1]),
 			{Mean: c[0].Mean, N: c[0].N}, {Mean: c[1].Mean, N: c[1].N},
 		}})
-		out.Notes = append(out.Notes, fmt.Sprintf("policy %d = %s", i, pol))
+	}
+	if out.Incomplete {
+		out.Rows = nil
 	}
 	return out, nil
 }

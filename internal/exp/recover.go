@@ -16,6 +16,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/model"
 	recov "repro/internal/recover"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/wormhole"
 )
@@ -35,6 +36,73 @@ type F2Tables struct {
 	// sends + orphan sends, the messages a fault-free execution would
 	// not have sent.
 	Overhead *Table
+}
+
+// recoverCell builds the engine cell for one reliable-delivery run on a
+// degraded fabric. Every recover cell also evaluates the reachability
+// oracle on its fault plan and placement — it is a pure function of the
+// same key inputs and cheap next to the flit simulation — so the cell
+// payload is uniform no matter which figure requested it; the merge
+// reads the oracle only from each suite's first column.
+func (s *Suite) recoverCell(a Algorithm, k, bytes, trial, pct int, planSeed, recSeed uint64, thold, tend model.Time) runner.Cell {
+	return runner.Cell{
+		Key: runner.Key{
+			Mode: "recover", Platform: s.Platform.Name, Algo: a.keyID(), Soft: s.softKey(),
+			K: k, Bytes: bytes, Trial: trial, Seed: s.Seed, AddrBytes: s.AddrBytes,
+			THold: thold, TEnd: tend, FaultSeed: planSeed, DeadPct: pct, RecSeed: recSeed,
+		},
+		Run: func() (runner.Result, error) {
+			net := s.Platform.NewNet()
+			var fp *fault.Plan
+			if pct > 0 {
+				fp = fault.MustPlan(net.Topology(), fault.Spec{
+					DeadFrac: float64(pct) / 100,
+					Seed:     planSeed,
+				})
+				net.SetFaults(fp)
+			}
+			addrs := s.placement(trial, k)
+			ch := chain.New(addrs, s.Platform.Less)
+			root, ok := ch.Index(addrs[0])
+			if !ok {
+				return runner.Result{}, fmt.Errorf("exp: source %d not in chain", addrs[0])
+			}
+			tab := a.Table(len(ch), thold, tend)
+			res, err := recov.Run(net, tab, ch, root, bytes, recov.Config{
+				Sim:  s.runConfig(),
+				TEnd: tend,
+				Seed: recSeed,
+			})
+			if err != nil {
+				return runner.Result{}, err
+			}
+			fallback := 0.0
+			if res.FallbackAt >= 0 {
+				fallback = 1
+			}
+			// Oracle: the 0% row has no plan — pass a nil interface, not a
+			// typed-nil *fault.Plan.
+			var fm wormhole.FaultModel
+			if fp != nil {
+				fm = fp
+			}
+			n := 0
+			for _, ok := range recov.Reachable(net.Topology(), fm, ch, root) {
+				if ok {
+					n++
+				}
+			}
+			oh := res.Overhead
+			return runner.Result{Metrics: map[string]float64{
+				"latency":   float64(res.Latency),
+				"delivered": float64(res.Delivered),
+				"abandoned": float64(res.Abandoned),
+				"overhead":  float64(oh.Retransmits + oh.RepairSends + oh.OrphanSends),
+				"fallback":  fallback,
+				"reach":     100 * float64(n-1) / float64(len(ch)-1),
+			}}, nil
+		},
+	}
 }
 
 // RecoverSweep runs experiment F2: the F1 fault sweep with the recovery
@@ -114,72 +182,27 @@ func RecoverSweep(meshSuite, bminSuite *Suite, k, bytes int, pcts []int, faultSe
 
 	type job struct{ pi, ci, trial int }
 	var jobs []job
-	for pi := range pcts {
-		for ci := range cols {
+	var cells []runner.Cell
+	for pi, pct := range pcts {
+		for ci, c := range cols {
 			for tr := 0; tr < trials; tr++ {
 				jobs = append(jobs, job{pi, ci, tr})
+				planSeed := faultPlanSeed(faultSeed, pi, tr)
+				cells = append(cells, c.suite.recoverCell(c.algo, k, bytes, tr, pct,
+					planSeed, planSeed+uint64(ci)*0xc2b2ae35,
+					c.suite.Software.Hold.At(bytes), tends[ci]))
 			}
 		}
 	}
-	results := make([]recov.Result, len(jobs))
-	reachFrac := make([]float64, len(jobs)) // valid on each suite's first column
-	errs := make([]error, len(jobs))
-	sim.ForEach(len(jobs), meshSuite.Workers, func(i int) {
-		j := jobs[i]
-		c := cols[j.ci]
-		net := c.suite.Platform.NewNet()
-		var fp *fault.Plan
-		if pct := pcts[j.pi]; pct > 0 {
-			// Same seed formula as F1, independent of the column: the two
-			// mesh algorithms face identical dead-link sets, and F2's plans
-			// match F1's row for row.
-			fp = fault.MustPlan(net.Topology(), fault.Spec{
-				DeadFrac: float64(pct) / 100,
-				Seed:     faultSeed + uint64(j.pi)*0x9e3779b9 + uint64(j.trial)*0x85ebca6b,
-			})
-			net.SetFaults(fp)
-		}
-		addrs := c.suite.placement(j.trial, k)
-		ch := chain.New(addrs, c.suite.Platform.Less)
-		root, ok := ch.Index(addrs[0])
-		if !ok {
-			errs[i] = fmt.Errorf("exp: source %d not in chain", addrs[0])
-			return
-		}
-		thold := c.suite.Software.Hold.At(bytes)
-		tab := c.algo.Table(len(ch), thold, tends[j.ci])
-		res, err := recov.Run(net, tab, ch, root, bytes, recov.Config{
-			Sim:  c.suite.runConfig(),
-			TEnd: tends[j.ci],
-			Seed: faultSeed + uint64(j.pi)*0x9e3779b9 + uint64(j.trial)*0x85ebca6b + uint64(j.ci)*0xc2b2ae35,
-		})
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[i] = res
-		if j.ci == 0 || cols[j.ci-1].suite != c.suite {
-			// Oracle once per (suite, row, trial) — it depends on the fault
-			// plan and placement, not the algorithm. The 0% row has no plan:
-			// pass a nil interface, not a typed-nil *fault.Plan.
-			var fm wormhole.FaultModel
-			if fp != nil {
-				fm = fp
-			}
-			n := 0
-			for _, ok := range recov.Reachable(net.Topology(), fm, ch, root) {
-				if ok {
-					n++
-				}
-			}
-			reachFrac[i] = 100 * float64(n-1) / float64(len(ch)-1)
-		}
-	})
-	for i, err := range errs {
-		if err != nil {
-			j := jobs[i]
-			return nil, fmt.Errorf("exp: %s at %d%% trial %d: %w", cols[j.ci].algo.Name, pcts[j.pi], j.trial, err)
-		}
+	results, have, err := meshSuite.exec().Run(f2.Latency.Title, cells)
+	if err != nil {
+		return nil, err
+	}
+	if runner.Missing(have) > 0 {
+		f2.Latency.Incomplete = true
+		f2.Delivered.Incomplete = true
+		f2.Overhead.Incomplete = true
+		return f2, nil
 	}
 
 	type agg struct {
@@ -191,11 +214,11 @@ func RecoverSweep(meshSuite, bminSuite *Suite, k, bytes int, pcts []int, faultSe
 	for i, j := range jobs {
 		a := &aggs[j.pi*len(cols)+j.ci]
 		res := &results[i]
-		a.lat.Add(float64(res.Latency))
-		a.frac.Add(100 * float64(res.Delivered) / float64(res.Delivered+res.Abandoned))
-		oh := res.Overhead
-		a.over.Add(float64(oh.Retransmits + oh.RepairSends + oh.OrphanSends))
-		if res.FallbackAt >= 0 {
+		a.lat.Add(res.Metric("latency"))
+		delivered, abandoned := res.Metric("delivered"), res.Metric("abandoned")
+		a.frac.Add(100 * delivered / (delivered + abandoned))
+		a.over.Add(res.Metric("overhead"))
+		if res.Metric("fallback") != 0 {
 			a.fallbacks++
 		}
 		if j.ci == 0 || cols[j.ci-1].suite != cols[j.ci].suite {
@@ -203,7 +226,7 @@ func RecoverSweep(meshSuite, bminSuite *Suite, k, bytes int, pcts []int, faultSe
 			if cols[j.ci].suite != meshSuite {
 				si = 1
 			}
-			oracle[j.pi*2+si].Add(reachFrac[i])
+			oracle[j.pi*2+si].Add(res.Metric("reach"))
 		}
 	}
 	f2.Latency.Rows = make([]Row, len(pcts))

@@ -1,0 +1,244 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleKey(trial int) Key {
+	return Key{
+		Mode: "mcast", Platform: "16x16 mesh", Algo: "opt", Soft: "send=95+0.008/B",
+		K: 32, Bytes: 4096, Trial: trial, Seed: 1997, THold: 128, TEnd: 640,
+	}
+}
+
+// The canonical key string is the cache's compatibility contract: a
+// change to the encoding must bump Schema, and this test is the tripwire.
+func TestKeyStringStable(t *testing.T) {
+	got := sampleKey(3).String()
+	want := "schema=1|mode=mcast|platform=16x16 mesh|algo=opt|soft=send=95+0.008/B|k=32|bytes=4096|x=0|trial=3|seed=1997|addrbytes=0|thold=128|tend=640|faultseed=0|deadpct=0|recseed=0|extra="
+	if got != want {
+		t.Fatalf("key encoding changed without a Schema bump:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestKeyHashDistinguishesFields(t *testing.T) {
+	base := sampleKey(0)
+	seen := map[string]string{base.Hash(): "base"}
+	for name, k := range map[string]Key{
+		"trial": sampleKey(1),
+		"mode":  {Mode: "fault", Platform: base.Platform, Algo: base.Algo, Soft: base.Soft, K: 32, Bytes: 4096, Seed: 1997, THold: 128, TEnd: 640},
+		"bytes": {Mode: "mcast", Platform: base.Platform, Algo: base.Algo, Soft: base.Soft, K: 32, Bytes: 8192, Seed: 1997, THold: 128, TEnd: 640},
+		"extra": {Mode: "mcast", Platform: base.Platform, Algo: base.Algo, Soft: base.Soft, K: 32, Bytes: 4096, Seed: 1997, THold: 128, TEnd: 640, Extra: "g=2"},
+	} {
+		h := k.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("key variants %q and %q collide", name, prev)
+		}
+		seen[h] = name
+		if len(h) != 64 || strings.ToLower(h) != h {
+			t.Fatalf("hash %q is not lowercase hex sha-256", h)
+		}
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sampleKey(0)
+	if _, ok := c.Load(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	res := Result{
+		Metrics: map[string]float64{"latency": 12345, "blocked": 0},
+		Series:  map[string][]int64{"deliveries": {0, 7, 12345}},
+	}
+	if err := c.Store(key, res); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Load(key)
+	if !ok {
+		t.Fatal("stored entry did not load")
+	}
+	if got.Metric("latency") != 12345 || got.Series["deliveries"][2] != 12345 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, ok := c.Load(sampleKey(1)); ok {
+		t.Fatal("different key hit the same entry")
+	}
+}
+
+// A corrupt entry and a hash-collision entry (valid JSON, wrong key
+// string) must both read as misses, never as errors or wrong results.
+func TestCacheCorruptAndCollidingEntriesMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sampleKey(0)
+	if err := c.Store(key, Result{Metrics: map[string]float64{"latency": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key.Hash())
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(key); ok {
+		t.Fatal("corrupt entry reported a hit")
+	}
+	collide, err := json.Marshal(entry{Key: sampleKey(9).String(), Result: Result{Metrics: map[string]float64{"latency": 999}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, collide, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Load(key); ok {
+		t.Fatal("colliding entry (different canonical key) reported a hit")
+	}
+}
+
+func makeCells(n int, ran []int32) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{
+			Key: sampleKey(i),
+			Run: func() (Result, error) {
+				if ran != nil {
+					ran[i]++
+				}
+				return Result{Metrics: map[string]float64{"latency": float64(100 + i)}}, nil
+			},
+		}
+	}
+	return cells
+}
+
+// Shard ownership must partition the manifest: over all n shards every
+// cell is computed exactly once, and the shared cache then merges to the
+// full result set.
+func TestShardsPartitionManifest(t *testing.T) {
+	const n, shards = 10, 3
+	dir := t.TempDir()
+	ran := make([]int32, n)
+	for sh := 0; sh < shards; sh++ {
+		c, err := OpenCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &Exec{Workers: 2, Shard: sh, NShards: shards, Cache: c, Resume: true}
+		results, have, err := e.Run("part", makeCells(n, ran))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Earlier shards' cells are already in the shared cache, so this
+		// shard sees its own cells plus every cell with i%shards < sh.
+		for i := range results {
+			if have[i] != (i%shards <= sh) {
+				t.Fatalf("shard %d/%d: have[%d] = %v", sh, shards, i, have[i])
+			}
+		}
+	}
+	for i, r := range ran {
+		if r != 1 {
+			t.Fatalf("cell %d ran %d times, want exactly once across shards", i, r)
+		}
+	}
+	// Merge run: everything from cache, nothing recomputed.
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := &Summary{}
+	e := &Exec{Cache: c, Resume: true, Summary: sum}
+	results, have, err := e.Run("merge", makeCells(n, ran))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Missing(have) != 0 {
+		t.Fatalf("merge missing %d cells", Missing(have))
+	}
+	for i, r := range results {
+		if r.Metric("latency") != float64(100+i) {
+			t.Fatalf("cell %d merged wrong: %+v", i, r)
+		}
+	}
+	if sum.Computed != 0 || sum.Cached != n {
+		t.Fatalf("merge summary computed=%d cached=%d, want 0/%d", sum.Computed, sum.Cached, n)
+	}
+}
+
+// Without Resume the engine recomputes owned cells even when cached — a
+// forced refresh — but still stores the new results.
+func TestNoResumeRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make([]int32, 4)
+	e := &Exec{Cache: c}
+	if _, _, err := e.Run("a", makeCells(4, ran)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Run("b", makeCells(4, ran)); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ran {
+		if r != 2 {
+			t.Fatalf("cell %d ran %d times, want 2 (no -resume)", i, r)
+		}
+	}
+}
+
+func TestRunErrorNamesCell(t *testing.T) {
+	cells := makeCells(3, nil)
+	cells[1].Run = func() (Result, error) { return Result{}, fmt.Errorf("boom") }
+	e := &Exec{}
+	_, _, err := e.Run("errs", cells)
+	if err == nil || !strings.Contains(err.Error(), "trial=1") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want cell key + cause", err)
+	}
+}
+
+func TestSummaryFinishAndWrite(t *testing.T) {
+	s := &Summary{}
+	s.add(Batch{Label: "a", Cells: 4, Computed: 2, Cached: 1, Skipped: 1})
+	s.add(Batch{Label: "b", Cells: 2, Computed: 2})
+	s.Finish("2", "0/2", 4, "results/cache", 1500)
+	if s.Cells != 6 || s.Computed != 4 || s.Cached != 1 || s.Skipped != 1 {
+		t.Fatalf("totals: cells=%d computed=%d cached=%d skipped=%d", s.Cells, s.Computed, s.Cached, s.Skipped)
+	}
+	if s.Complete {
+		t.Fatal("summary with skipped cells reported complete")
+	}
+	path := filepath.Join(t.TempDir(), "sum.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Fig != "2" || back.Shard != "0/2" || len(back.Batches) != 2 || back.WallMS != 1500 {
+		t.Fatalf("round trip: fig=%q shard=%q batches=%d wallms=%d", back.Fig, back.Shard, len(back.Batches), back.WallMS)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	if Missing([]bool{true, false, true, false}) != 2 || Missing(nil) != 0 {
+		t.Fatal("Missing miscounts")
+	}
+}

@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Batch is one engine batch (one figure sweep manifest) in the summary.
+type Batch struct {
+	Label    string `json:"label"`
+	Cells    int    `json:"cells"`
+	Computed int    `json:"computed"`
+	Cached   int    `json:"cached"`
+	Skipped  int    `json:"skipped"`
+}
+
+// Summary is the per-run JSON record the CLIs emit and CI consumes: how
+// much work a run actually did (computed) versus reused (cached) versus
+// left to other shards (skipped), plus wall time and worker count. CI
+// asserts on these fields — e.g. a warm-cache merge run must report
+// computed == 0 — so the engine fills the counts and the CLI stamps the
+// run-level context.
+type Summary struct {
+	Fig      string  `json:"fig,omitempty"`
+	Shard    string  `json:"shard,omitempty"`
+	Workers  int     `json:"workers"`
+	CacheDir string  `json:"cache_dir,omitempty"`
+	Cells    int     `json:"cells"`
+	Computed int     `json:"computed"`
+	Cached   int     `json:"cached"`
+	Skipped  int     `json:"skipped"`
+	Complete bool    `json:"complete"`
+	WallMS   int64   `json:"wall_ms"`
+	Batches  []Batch `json:"batches,omitempty"`
+
+	mu sync.Mutex
+}
+
+// add accumulates one batch into the totals.
+func (s *Summary) add(b Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Batches = append(s.Batches, b)
+	s.Cells += b.Cells
+	s.Computed += b.Computed
+	s.Cached += b.Cached
+	s.Skipped += b.Skipped
+}
+
+// Finish stamps run-level context; Complete means every cell of every
+// batch was available (computed here or cached), i.e. all tables were
+// merged rather than deferred.
+func (s *Summary) Finish(fig, shard string, workers int, cacheDir string, wallMS int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Fig, s.Shard, s.Workers, s.CacheDir, s.WallMS = fig, shard, workers, cacheDir, wallMS
+	s.Complete = s.Skipped == 0
+}
+
+// WriteFile writes the summary as indented JSON; "-" writes to stderr.
+func (s *Summary) WriteFile(path string) error {
+	s.mu.Lock()
+	buf, err := json.MarshalIndent(s, "", "  ")
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("runner: summary: %w", err)
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stderr.Write(buf)
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
@@ -11,6 +12,16 @@ import (
 // deterministic regardless of scheduling. It is the harness used to fan
 // the paper's 16 independent placements per data point across cores.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachProgress(n, workers, fn, nil)
+}
+
+// ForEachProgress is ForEach with a completion hook: after each index
+// finishes, done is called with the running count of completed indices
+// (1..n). done may be invoked from any worker goroutine, so it must be
+// safe for concurrent use; it exists for progress/ETA reporting and must
+// not influence results — the experiment engine feeds it a stderr
+// ticker, never a table.
+func ForEachProgress(n, workers int, fn func(i int), done func(completed int)) {
 	if n <= 0 {
 		return
 	}
@@ -23,10 +34,14 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
+			if done != nil {
+				done(i + 1)
+			}
 		}
 		return
 	}
 	var wg sync.WaitGroup
+	var completed atomic.Int64
 	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -34,6 +49,9 @@ func ForEach(n, workers int, fn func(i int)) {
 			defer wg.Done()
 			for i := range next {
 				fn(i)
+				if done != nil {
+					done(int(completed.Add(1)))
+				}
 			}
 		}()
 	}
