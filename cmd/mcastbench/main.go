@@ -23,12 +23,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/internal/bmin"
 	"repro/internal/exp"
 	"repro/internal/model"
 	"repro/internal/runner"
+	"repro/internal/wallclock"
 	"repro/internal/wormhole"
 )
 
@@ -107,7 +107,7 @@ func run(o options) error {
 	if o.progress {
 		ex.Progress = os.Stderr
 	}
-	start := time.Now()
+	start := wallclock.Now()
 
 	cfg := wormhole.DefaultConfig()
 	newSuite := func(p exp.Platform) *exp.Suite {
@@ -241,7 +241,7 @@ func run(o options) error {
 		return err
 	}
 
-	ex.Summary.Finish(o.fig, o.shard, o.workers, cacheDir, time.Since(start).Milliseconds())
+	ex.Summary.Finish(o.fig, o.shard, o.workers, cacheDir, wallclock.Since(start).Milliseconds())
 	if o.summary != "" {
 		return ex.Summary.WriteFile(o.summary)
 	}

@@ -5,21 +5,33 @@
 // Usage:
 //
 //	go run ./cmd/repolint ./...
-//	go run ./cmd/repolint ./internal/exp ./internal/sim/...
+//	go run ./cmd/repolint -baseline results/lint_baseline.json ./...
+//	go run ./cmd/repolint -write-baseline results/lint_baseline.json ./...
+//	go run ./cmd/repolint -format json ./internal/exp
 //
 // With no arguments it analyzes ./... relative to the current
 // directory. Diagnostics are printed one per line as
 // "file:line:col: [analyzer] message", sorted by position, so output
-// is stable across runs. The -doc flag prints each analyzer's
-// documentation instead of analyzing.
+// is stable across runs; -format json and -format sarif emit
+// machine-readable findings instead. -baseline filters findings
+// through a checked-in acceptance file and fails only on new ones;
+// -write-baseline regenerates that file from the current findings.
+// The -doc flag prints each analyzer's documentation instead of
+// analyzing.
+//
+// Exit codes: 0 clean (or all findings baselined), 1 findings,
+// 2 usage or environment error (including patterns that match no
+// packages).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/lint"
@@ -33,6 +45,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	doc := fs.Bool("doc", false, "print analyzer documentation and exit")
+	format := fs.String("format", "text", "output format: text, json, or sarif")
+	baselinePath := fs.String("baseline", "", "accept findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -41,6 +56,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "repolint: unknown -format %q (want text, json, or sarif)\n", *format)
+		return 2
+	}
+	if *baselinePath != "" && *writeBaseline != "" {
+		fmt.Fprintln(stderr, "repolint: -baseline and -write-baseline are mutually exclusive: checking against a file while rewriting it would always pass")
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
@@ -67,21 +92,173 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "repolint:", err)
 		return 2
 	}
+	if len(dirs) == 0 {
+		fmt.Fprintf(stderr, "repolint: patterns %s match no Go packages\n", strings.Join(patterns, " "))
+		return 2
+	}
 	diags, err := lint.Run(loader, analysis.All(), dirs)
 	if err != nil {
 		fmt.Fprintln(stderr, "repolint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		name := d.Pos.Filename
-		if rel, err := filepath.Rel(wd, name); err == nil {
-			name = rel
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(diags, modRoot)
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		fmt.Fprintf(stderr, "repolint: wrote %d accepted finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "repolint:", err)
+			return 2
+		}
+		var accepted int
+		diags, accepted = b.Apply(diags, modRoot)
+		if accepted > 0 {
+			fmt.Fprintf(stderr, "repolint: %d finding(s) accepted by baseline %s\n", accepted, *baselinePath)
+		}
+	}
+
+	switch *format {
+	case "json":
+		writeJSON(stdout, diags, modRoot)
+	case "sarif":
+		writeSARIF(stdout, diags, modRoot)
+	default:
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(wd, name); err == nil {
+				name = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "repolint: %d issue(s) found\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -format json record: one object per diagnostic,
+// with the file module-root-relative so output is checkout-portable
+// (the same shape the baseline uses, plus position).
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func relSlash(modRoot, filename string) string {
+	if rel, err := filepath.Rel(modRoot, filename); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+func writeJSON(w io.Writer, diags []lint.Diagnostic, modRoot string) {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Analyzer: d.Analyzer,
+			File:     relSlash(modRoot, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encode cannot fail on this shape; findings is plain data.
+	_ = enc.Encode(struct {
+		Findings []jsonFinding `json:"findings"`
+	}{findings})
+}
+
+// writeSARIF emits a minimal SARIF 2.1.0 log: one run, one driver with
+// a rule per analyzer that produced a finding, one result per
+// diagnostic. Enough for code-scanning upload and editor ingestion
+// without modeling the parts of the spec we don't use.
+func writeSARIF(w io.Writer, diags []lint.Diagnostic, modRoot string) {
+	type sarifMessage struct {
+		Text string `json:"text"`
+	}
+	type sarifRule struct {
+		ID               string       `json:"id"`
+		ShortDescription sarifMessage `json:"shortDescription"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn"`
+	}
+	type sarifArtifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type sarifPhysicalLocation struct {
+		ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+		Region           sarifRegion           `json:"region"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID    string          `json:"ruleId"`
+		Level     string          `json:"level"`
+		Message   sarifMessage    `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+
+	docs := make(map[string]string)
+	for _, a := range analysis.All() {
+		docs[a.Name] = a.Doc
+	}
+	docs[lint.DirectiveAnalyzer] = "validates //lint: directives themselves"
+
+	rules := []sarifRule{}
+	seen := make(map[string]bool)
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !seen[d.Analyzer] {
+			seen[d.Analyzer] = true
+			rules = append(rules, sarifRule{
+				ID:               d.Analyzer,
+				ShortDescription: sarifMessage{Text: docs[d.Analyzer]},
+			})
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: relSlash(modRoot, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+
+	log := map[string]any{
+		"$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []any{map[string]any{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":  "repolint",
+					"rules": rules,
+				},
+			},
+			"results": results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(log)
 }

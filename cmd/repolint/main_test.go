@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis/lint"
 )
 
 func TestCleanPackageExitsZero(t *testing.T) {
@@ -37,9 +42,172 @@ func TestDocFlag(t *testing.T) {
 	if code := run([]string{"-doc"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d for -doc", code)
 	}
-	for _, name := range []string{"nodeterm", "maporder", "sharedcapture", "panicstyle", "errcheck"} {
+	for _, name := range []string{
+		"detclock", "errcheck", "hotalloc", "locksafe", "maporder",
+		"nodeterm", "panicstyle", "sharedcapture", "waitleak",
+	} {
 		if !strings.Contains(out.String(), name+":") {
 			t.Errorf("-doc output missing analyzer %s:\n%s", name, out.String())
 		}
+	}
+}
+
+// A pattern that matches no Go packages is an invocation error, not a
+// clean run: a typo'd path in CI must fail the job rather than
+// vacuously pass it.
+func TestZeroPackagesExitsNonzero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"./testdata/empty/..."}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit %d on zero-package pattern, want 2; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "match no Go packages") {
+		t.Errorf("stderr does not explain the empty match:\n%s", errOut.String())
+	}
+}
+
+func TestUnknownFormatExitsNonzero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "xml", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown format, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown -format "xml"`) {
+		t.Errorf("stderr does not name the bad format:\n%s", errOut.String())
+	}
+}
+
+func TestBaselineWithWriteBaselineRejected(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", "x.json", "-write-baseline", "y.json", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for -baseline with -write-baseline, want 2", code)
+	}
+}
+
+const seededFixture = "../../internal/analysis/panicstyle/testdata/src/a"
+
+func TestBaselineRoundTripCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-write-baseline", path, seededFixture}, &out, &errOut); code != 0 {
+		t.Fatalf("write-baseline exit %d; stderr:\n%s", code, errOut.String())
+	}
+
+	// With every current finding baselined, the same run is clean.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, seededFixture}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined run exit %d; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("baselined run still prints findings:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "accepted by baseline") {
+		t.Errorf("stderr does not report accepted count:\n%s", errOut.String())
+	}
+
+	// Dropping an entry makes that finding new again: exit 1.
+	b, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) == 0 {
+		t.Fatal("seeded fixture produced an empty baseline")
+	}
+	b.Findings = b.Findings[1:]
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", path, seededFixture}, &out, &errOut); code != 1 {
+		t.Fatalf("run with truncated baseline exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+
+	// A corrupt or wrong-version baseline is an environment error.
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-baseline", path, seededFixture}, &out, &errOut); code != 2 {
+		t.Fatalf("run with wrong-version baseline exit %d, want 2", code)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-format", "json", "../../internal/analysis/waitleak/testdata/src/a"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on seeded fixture, want 1; stderr:\n%s", code, errOut.String())
+	}
+	var report struct {
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	f := report.Findings[0]
+	if f.Analyzer != "waitleak" || f.Line == 0 {
+		t.Errorf("finding missing fields: %+v", f)
+	}
+	if strings.Contains(f.File, "\\") || filepath.IsAbs(f.File) {
+		t.Errorf("file %q is not module-relative slash-separated", f.File)
+	}
+}
+
+func TestSARIFFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-format", "sarif", "../../internal/analysis/waitleak/testdata/src/a"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on seeded fixture, want 1; stderr:\n%s", code, errOut.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("output is not SARIF JSON: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF envelope: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "repolint" || len(r.Tool.Driver.Rules) == 0 {
+		t.Errorf("driver not populated: %+v", r.Tool.Driver)
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("no results in SARIF output")
+	}
+	if r.Results[0].RuleID != "waitleak" {
+		t.Errorf("ruleId = %q, want waitleak", r.Results[0].RuleID)
+	}
+	if uri := r.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; !strings.HasPrefix(uri, "internal/") {
+		t.Errorf("artifact URI %q is not module-relative", uri)
 	}
 }

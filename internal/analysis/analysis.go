@@ -6,21 +6,29 @@
 package analysis
 
 import (
+	"repro/internal/analysis/detclock"
 	"repro/internal/analysis/errcheck"
+	"repro/internal/analysis/hotalloc"
 	"repro/internal/analysis/lint"
+	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nodeterm"
 	"repro/internal/analysis/panicstyle"
 	"repro/internal/analysis/sharedcapture"
+	"repro/internal/analysis/waitleak"
 )
 
 // All returns every registered analyzer, in a fixed order.
 func All() []*lint.Analyzer {
 	return []*lint.Analyzer{
+		detclock.Analyzer,
 		errcheck.Analyzer,
+		hotalloc.Analyzer,
+		locksafe.Analyzer,
 		maporder.Analyzer,
 		nodeterm.Analyzer,
 		panicstyle.Analyzer,
 		sharedcapture.Analyzer,
+		waitleak.Analyzer,
 	}
 }

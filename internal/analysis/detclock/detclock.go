@@ -1,0 +1,117 @@
+// Package detclock forbids wall-clock reads and global-generator
+// randomness in the simulation, experiment, and CLI packages.
+//
+// Every number the reproduction publishes — golden tables, fault
+// sweeps, recovery figures — must be a pure function of explicit seeds
+// and the event-queue clock (wormhole.Network.Now advancing cycle by
+// cycle), or runs stop being bit-identical across kernels, shards,
+// cache states, and machines. time.Now and time.Since read ambient
+// state by construction; the package-level math/rand draw functions
+// pull from a process-global generator whose stream depends on
+// whatever ran before. Both are banned from the packages that produce
+// or consume experiment numbers. Seeded construction (rand.New,
+// rand.NewSource) is allowed — determinism requires an explicit seed,
+// not the absence of randomness — though repo code should prefer
+// sim.NewRNG, whose stream is stable across Go releases.
+//
+// The one sanctioned wall-clock door is internal/wallclock, which
+// exists solely for progress/ETA display on stderr and must never feed
+// a result. Code that legitimately needs elapsed wall time (the
+// experiment engine's progress ticker, the CLIs' summary timing) calls
+// wallclock.Now/Since; everything else derives timing from simulated
+// cycles. Test files are exempt: wall-clock there bounds fuzz and
+// soak budgets, not results.
+package detclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer is the detclock check.
+var Analyzer = &lint.Analyzer{
+	Name: "detclock",
+	Doc: "forbid time.Now/time.Since and global math/rand draws in simulation " +
+		"and CLI packages; sim time comes from the event queue, randomness from " +
+		"seeded sources, and wall-clock display goes through internal/wallclock",
+	AppliesTo: appliesTo,
+	Run:       run,
+}
+
+// scopes lists the package subtrees whose published numbers must be
+// deterministic. internal/wallclock is deliberately absent: it is the
+// audited door.
+var scopes = []string{
+	"repro/internal/sim",
+	"repro/internal/wormhole",
+	"repro/internal/fault",
+	"repro/internal/recover",
+	"repro/internal/runner",
+	"repro/internal/exp",
+	"repro/internal/mcastsim",
+	"repro/cmd",
+}
+
+func appliesTo(pkgPath string) bool {
+	for _, s := range scopes {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// seededConstructors are the math/rand package-level functions that
+// build an explicitly-seeded generator instead of drawing from the
+// global one.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // wall-clock in tests bounds budgets, not results
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.ObjectOf(id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now":
+					pass.Reportf(call.Pos(), "time.Now reads the wall clock: derive timing from simulated cycles, or use internal/wallclock for progress display only")
+				case "Since":
+					pass.Reportf(call.Pos(), "time.Since reads the wall clock: derive timing from simulated cycles, or use internal/wallclock for progress display only")
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[sel.Sel.Name] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the process-global generator: use sim.NewRNG (or rand.New) with an explicit seed", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

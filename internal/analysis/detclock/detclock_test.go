@@ -1,0 +1,47 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detclock"
+	"repro/internal/analysis/linttest"
+)
+
+func TestDetclock(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", detclock.Analyzer)
+}
+
+// TestGolden pins exact positions and full message text, including
+// that the //lint:ignore case produces nothing at all.
+func TestGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/a", detclock.Analyzer, "testdata/golden.txt")
+}
+
+func TestScope(t *testing.T) {
+	applies := detclock.Analyzer.AppliesTo
+	for _, p := range []string{
+		"repro/internal/sim",
+		"repro/internal/wormhole",
+		"repro/internal/fault",
+		"repro/internal/recover",
+		"repro/internal/runner",
+		"repro/internal/exp",
+		"repro/internal/mcastsim",
+		"repro/cmd/mcastbench",
+		"repro/cmd/netsim",
+	} {
+		if !applies(p) {
+			t.Errorf("detclock should apply to %s", p)
+		}
+	}
+	for _, p := range []string{
+		"repro/internal/wallclock", // the audited door
+		"repro/internal/analysis/lint",
+		"repro/internal/mesh",
+		"repro/internal/simx",
+	} {
+		if applies(p) {
+			t.Errorf("detclock should not apply to %s", p)
+		}
+	}
+}

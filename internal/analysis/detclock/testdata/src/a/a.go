@@ -1,0 +1,29 @@
+// Package a is the detclock fixture: wall-clock reads and global-
+// generator randomness must be flagged, seeded construction and
+// explicit-generator draws must not.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func violations(seed int64) {
+	t := time.Now()                    // want `time\.Now reads the wall clock`
+	fmt.Println(time.Since(t))         // want `time\.Since reads the wall clock`
+	_ = rand.Intn(8)                   // want `rand\.Intn draws from the process-global generator`
+	rand.Shuffle(4, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global generator`
+}
+
+func allowed(seed int64) {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded constructor
+	_ = r.Intn(8)                       // ok: draw from an explicit generator
+	_ = time.Unix(0, 0)                 // ok: pure conversion, no ambient read
+	_ = time.Duration(seed)             // ok: durations are just numbers
+}
+
+func suppressed() {
+	//lint:ignore detclock fixture demonstrates display-only wall-clock suppression
+	_ = time.Now()
+}

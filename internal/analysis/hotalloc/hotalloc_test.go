@@ -1,0 +1,19 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/linttest"
+)
+
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", hotalloc.Analyzer)
+}
+
+// TestGolden pins exact positions and full message text, including
+// that the suppressed hot append produces nothing and the dangling
+// directive is reported.
+func TestGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/a", hotalloc.Analyzer, "testdata/golden.txt")
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// baselineVersion is bumped when the entry schema changes, so a stale
+// checked-in baseline fails loudly instead of silently accepting or
+// rejecting the wrong findings.
+const baselineVersion = 1
+
+// A BaselineEntry accepts up to Count occurrences of one (analyzer,
+// file, message) finding. Line numbers are deliberately absent:
+// unrelated edits move findings around a file, and a baseline keyed on
+// lines would churn on every refactor while a genuinely new finding of
+// the same shape elsewhere in the file is exactly what gradual adoption
+// tolerates.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-root-relative, slash-separated
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// A Baseline is the checked-in set of accepted findings
+// (results/lint_baseline.json): new analyzers adopt gradually by
+// baselining their findings at introduction, while any finding not in
+// the baseline fails the run.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline aggregates diags into a baseline, with file paths
+// recorded relative to modRoot. Entries are sorted so regeneration is
+// byte-for-byte stable.
+func NewBaseline(diags []Diagnostic, modRoot string) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, d := range diags {
+		e := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     baselineRel(modRoot, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		counts[e]++
+	}
+	// Findings starts non-nil so an all-clean repo serializes as an
+	// explicit empty array rather than null.
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for e, n := range counts {
+		e.Count = n
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want %d — regenerate with repolint -write-baseline", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// WriteFile writes the baseline as stable, indented JSON.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits diags into the findings the baseline does not accept
+// (returned, in input order) and the count it does. Each entry accepts
+// at most Count occurrences of its (analyzer, file, message) key, so a
+// regression that duplicates a baselined finding still fails.
+func (b *Baseline) Apply(diags []Diagnostic, modRoot string) (fresh []Diagnostic, accepted int) {
+	budget := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		n := e.Count
+		e.Count = 0
+		budget[e] += n
+	}
+	for _, d := range diags {
+		key := BaselineEntry{
+			Analyzer: d.Analyzer,
+			File:     baselineRel(modRoot, d.Pos.Filename),
+			Message:  d.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			accepted++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, accepted
+}
+
+// baselineRel renders filename relative to modRoot with forward
+// slashes, so baselines are portable across checkouts and platforms.
+func baselineRel(modRoot, filename string) string {
+	if rel, err := filepath.Rel(modRoot, filename); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}

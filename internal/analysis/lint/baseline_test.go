@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bdiag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	diags := []Diagnostic{
+		bdiag("detclock", filepath.Join(root, "internal", "sim", "net.go"), 12, "time.Now reads the wall clock"),
+		bdiag("hotalloc", filepath.Join(root, "internal", "wormhole", "network.go"), 40, "append in hot path"),
+		bdiag("hotalloc", filepath.Join(root, "internal", "wormhole", "network.go"), 55, "append in hot path"),
+	}
+	b := NewBaseline(diags, root)
+	if len(b.Findings) != 2 {
+		t.Fatalf("got %d entries, want 2 (duplicates aggregate by count): %+v", len(b.Findings), b.Findings)
+	}
+	// Entries are modRoot-relative, slash-separated, and sorted by file.
+	if b.Findings[0].File != "internal/sim/net.go" || b.Findings[1].File != "internal/wormhole/network.go" {
+		t.Errorf("files not relative/sorted: %+v", b.Findings)
+	}
+	if b.Findings[1].Count != 2 {
+		t.Errorf("duplicate finding count = %d, want 2", b.Findings[1].Count)
+	}
+
+	path := filepath.Join(root, "baseline.json")
+	if err := b.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != baselineVersion || len(got.Findings) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+
+	// All three original findings are accepted; nothing is fresh.
+	fresh, accepted := got.Apply(diags, root)
+	if len(fresh) != 0 || accepted != 3 {
+		t.Errorf("Apply(original) = %d fresh, %d accepted; want 0, 3", len(fresh), accepted)
+	}
+}
+
+func TestBaselineApplyBudgets(t *testing.T) {
+	root := t.TempDir()
+	one := bdiag("hotalloc", filepath.Join(root, "a.go"), 10, "append in hot path")
+	b := NewBaseline([]Diagnostic{one}, root)
+
+	// A third occurrence of a baselined-twice finding is fresh: the
+	// count is a budget, not a blanket waiver for the message.
+	dup := one
+	dup.Pos.Line = 99
+	fresh, accepted := b.Apply([]Diagnostic{one, dup}, root)
+	if accepted != 1 || len(fresh) != 1 {
+		t.Fatalf("Apply over budget = %d fresh, %d accepted; want 1, 1", len(fresh), accepted)
+	}
+	if fresh[0].Pos.Line != 99 {
+		t.Errorf("fresh finding is %+v; the later occurrence should spill", fresh[0])
+	}
+
+	// A different message in the same file is never accepted.
+	other := bdiag("hotalloc", filepath.Join(root, "a.go"), 10, "make allocates in hot path")
+	fresh, accepted = b.Apply([]Diagnostic{other}, root)
+	if accepted != 0 || len(fresh) != 1 {
+		t.Errorf("Apply(other message) = %d fresh, %d accepted; want 1, 0", len(fresh), accepted)
+	}
+}
+
+func TestBaselineVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "findings": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBaseline(path)
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("LoadBaseline(version 99) err = %v, want version mismatch", err)
+	}
+}
+
+func TestEmptyBaselineWritesFindingsArray(t *testing.T) {
+	root := t.TempDir()
+	path := filepath.Join(root, "baseline.json")
+	if err := NewBaseline(nil, root).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"findings": []`) {
+		t.Errorf("empty baseline serialized as %s; want an explicit empty findings array", data)
+	}
+	if _, err := LoadBaseline(path); err != nil {
+		t.Errorf("empty baseline does not load: %v", err)
+	}
+}

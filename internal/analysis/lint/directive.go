@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveAnalyzer is the pseudo-analyzer name carried by diagnostics
+// about the directives themselves (malformed or unknown //lint:
+// comments). It participates in baselines and suppression like any
+// real analyzer, so a stray directive can never silently do nothing.
+const DirectiveAnalyzer = "directive"
+
+// A Directive is one parsed //lint: comment.
+//
+// Two verbs exist:
+//
+//	//lint:ignore <analyzer> <reason>
+//	//lint:hotpath [note]
+//
+// ignore suppresses diagnostics of the named analyzer reported on the
+// directive's own line or on the line immediately below it (so both the
+// trailing-comment and the standalone-line placements work). The reason
+// is mandatory: a suppression without a recorded justification is
+// itself a diagnostic. hotpath marks the function (doc comment) or the
+// statement below it as an allocation-free hot region for the hotalloc
+// analyzer.
+type Directive struct {
+	Pos      token.Position
+	Verb     string // "ignore" or "hotpath"
+	Analyzer string // for ignore: the suppressed analyzer
+	Reason   string // for ignore: the justification; for hotpath: optional note
+}
+
+// HotpathVerb and IgnoreVerb name the recognized directive verbs.
+const (
+	IgnoreVerb  = "ignore"
+	HotpathVerb = "hotpath"
+)
+
+const directivePrefix = "//lint:"
+
+// ParseDirectives scans the comments of files for //lint: directives.
+// Well-formed directives are returned for the caller to act on;
+// malformed ones (unknown verb, //lint:ignore without an analyzer name
+// or without a reason) come back as diagnostics under the "directive"
+// pseudo-analyzer, so a typo in a suppression fails the lint run
+// instead of silently suppressing nothing.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var bad []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Diagnostic{
+			Analyzer: DirectiveAnalyzer,
+			Pos:      fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "malformed //lint: directive: missing verb (want ignore or hotpath)")
+					continue
+				}
+				switch fields[0] {
+				case IgnoreVerb:
+					if len(fields) < 2 {
+						report(c.Pos(), "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>")
+						continue
+					}
+					if len(fields) < 3 {
+						report(c.Pos(), "//lint:ignore "+fields[1]+" has no reason: every suppression must record why the finding is acceptable")
+						continue
+					}
+					dirs = append(dirs, Directive{
+						Pos:      fset.Position(c.Pos()),
+						Verb:     IgnoreVerb,
+						Analyzer: fields[1],
+						Reason:   strings.Join(fields[2:], " "),
+					})
+				case HotpathVerb:
+					dirs = append(dirs, Directive{
+						Pos:    fset.Position(c.Pos()),
+						Verb:   HotpathVerb,
+						Reason: strings.Join(fields[1:], " "),
+					})
+				default:
+					report(c.Pos(), fmt.Sprintf("unknown //lint: directive verb %q (want ignore or hotpath)", fields[0]))
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// Suppress filters diags through the ignore directives: a diagnostic
+// is dropped when an ignore directive naming its analyzer sits in the
+// same file on the same line or on the line immediately above. The
+// directive pseudo-analyzer itself cannot be suppressed — a malformed
+// directive must always surface.
+func Suppress(diags []Diagnostic, dirs []Directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool)
+	for _, d := range dirs {
+		if d.Verb != IgnoreVerb {
+			continue
+		}
+		covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
+		covered[key{d.Pos.Filename, d.Pos.Line + 1, d.Analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != DirectiveAnalyzer && covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+//lint:ignore detclock progress display only
+var a = 1
+
+//lint:hotpath inner loop of the kernel
+var b = 2
+
+//lint:hotpath
+var c = 3
+`
+	fset, files := parseOne(t, src)
+	dirs, bad := ParseDirectives(fset, files)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %v", bad)
+	}
+	if len(dirs) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(dirs), dirs)
+	}
+	if dirs[0].Verb != IgnoreVerb || dirs[0].Analyzer != "detclock" || dirs[0].Reason != "progress display only" {
+		t.Errorf("ignore directive parsed as %+v", dirs[0])
+	}
+	if dirs[1].Verb != HotpathVerb || dirs[1].Reason != "inner loop of the kernel" {
+		t.Errorf("hotpath directive parsed as %+v", dirs[1])
+	}
+	if dirs[2].Verb != HotpathVerb || dirs[2].Reason != "" {
+		t.Errorf("bare hotpath directive parsed as %+v", dirs[2])
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"package p\n\n//lint:ignore\nvar a = 1\n", "malformed //lint:ignore directive"},
+		{"package p\n\n//lint:ignore detclock\nvar a = 1\n", "has no reason"},
+		{"package p\n\n//lint:nonsense x\nvar a = 1\n", `unknown //lint: directive verb "nonsense"`},
+		{"package p\n\n//lint:\nvar a = 1\n", "missing verb"},
+	}
+	for _, c := range cases {
+		fset, files := parseOne(t, c.src)
+		dirs, bad := ParseDirectives(fset, files)
+		if len(dirs) != 0 {
+			t.Errorf("%q: malformed directive still parsed: %+v", c.src, dirs)
+		}
+		if len(bad) != 1 {
+			t.Fatalf("%q: got %d diagnostics, want 1", c.src, len(bad))
+		}
+		if bad[0].Analyzer != DirectiveAnalyzer {
+			t.Errorf("%q: diagnostic attributed to %q, want %q", c.src, bad[0].Analyzer, DirectiveAnalyzer)
+		}
+		if !strings.Contains(bad[0].Message, c.want) {
+			t.Errorf("%q: message %q does not mention %q", c.src, bad[0].Message, c.want)
+		}
+	}
+}
+
+// A plain comment that merely talks about directives is not one.
+func TestProseMentionIsNotADirective(t *testing.T) {
+	src := "package p\n\n// Use //lint:ignore sparingly.\n// lint:ignore x y (leading space: not a directive)\nvar a = 1\n"
+	fset, files := parseOne(t, src)
+	dirs, bad := ParseDirectives(fset, files)
+	if len(dirs) != 0 || len(bad) != 0 {
+		t.Errorf("prose parsed as directives: dirs=%+v bad=%+v", dirs, bad)
+	}
+}
+
+func TestSuppress(t *testing.T) {
+	mk := func(file string, line int, analyzer string) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line}}
+	}
+	dirs := []Directive{
+		{Pos: token.Position{Filename: "d.go", Line: 10}, Verb: IgnoreVerb, Analyzer: "detclock", Reason: "r"},
+		{Pos: token.Position{Filename: "d.go", Line: 20}, Verb: HotpathVerb},
+	}
+	diags := []Diagnostic{
+		mk("d.go", 10, "detclock"),  // same line: suppressed
+		mk("d.go", 11, "detclock"),  // next line: suppressed
+		mk("d.go", 12, "detclock"),  // two lines below: kept
+		mk("d.go", 10, "locksafe"),  // other analyzer: kept
+		mk("e.go", 10, "detclock"),  // other file: kept
+		mk("d.go", 21, "detclock"),  // hotpath is not a suppression: kept
+		mk("d.go", 10, "directive"), // the directive pseudo-analyzer cannot be silenced
+	}
+	kept := Suppress(diags, dirs)
+	if len(kept) != 5 {
+		t.Fatalf("got %d kept diagnostics, want 5: %+v", len(kept), kept)
+	}
+	for _, d := range kept {
+		if d.Pos.Filename == "d.go" && d.Pos.Line == 11 && d.Analyzer == "detclock" {
+			t.Errorf("next-line suppression failed: %+v", d)
+		}
+	}
+}

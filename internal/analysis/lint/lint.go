@@ -97,7 +97,9 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 // Run applies every analyzer to every package loaded from dirs and
 // returns the findings sorted by position then analyzer name, so output
 // is byte-for-byte stable across runs — the same determinism contract
-// the analyzers themselves enforce.
+// the analyzers themselves enforce. //lint:ignore directives in the
+// analyzed sources suppress the findings they cover; malformed
+// directives surface as "directive" diagnostics.
 func Run(l *Loader, analyzers []*Analyzer, dirs []string) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, dir := range dirs {
@@ -106,6 +108,7 @@ func Run(l *Loader, analyzers []*Analyzer, dirs []string) ([]Diagnostic, error) 
 			return nil, fmt.Errorf("lint: %s: %w", dir, err)
 		}
 		for _, pkg := range pkgs {
+			var pkgDiags []Diagnostic
 			for _, a := range analyzers {
 				if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 					continue
@@ -116,12 +119,15 @@ func Run(l *Loader, analyzers []*Analyzer, dirs []string) ([]Diagnostic, error) 
 					Files:    pkg.Files,
 					Pkg:      pkg.Types,
 					Info:     pkg.Info,
-					diags:    &diags,
+					diags:    &pkgDiags,
 				}
 				if err := a.Run(pass); err != nil {
 					return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
 				}
 			}
+			directives, malformed := ParseDirectives(l.Fset, pkg.Files)
+			diags = append(diags, Suppress(pkgDiags, directives)...)
+			diags = append(diags, malformed...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -14,6 +14,7 @@
 package linttest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"os"
@@ -41,7 +42,70 @@ type expectation struct {
 // analyzer, and checks its diagnostics against the fixture's want
 // comments. The fixture may import module packages (e.g.
 // repro/internal/sim); they are resolved against the enclosing module.
+//
+// The real driver pipeline's directive handling applies: a
+// //lint:ignore in the fixture suppresses matching diagnostics, and
+// malformed //lint: directives surface as "directive" diagnostics —
+// so fixtures can pin suppression behavior with the same want
+// comments they pin findings with.
 func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
+	t.Helper()
+
+	diags, expects := analyze(t, fixtureDir, a)
+
+	for i := range diags {
+		d := &diags[i]
+		matched := false
+		for _, e := range expects {
+			if e.hit || e.file != filepath.Base(d.Pos.Filename) || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: no diagnostic matching %s", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// RunGolden applies the analyzer to the fixture (with the same
+// directive handling as Run) and compares the rendered diagnostics —
+// "file:line:col: [analyzer] message", one per line, in the runner's
+// sorted order — against the golden file, byte for byte. Where Run's
+// want comments pin that a diagnostic exists on a line, the golden
+// file pins exact positions and full message text, which is what the
+// baseline and suppression machinery key on.
+func RunGolden(t *testing.T, fixtureDir string, a *lint.Analyzer, goldenFile string) {
+	t.Helper()
+
+	diags, _ := analyze(t, fixtureDir, a)
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("linttest: reading golden file: %v", err)
+	}
+	if got := b.String(); got != string(want) {
+		t.Errorf("diagnostics differ from golden file %s:\n--- got ---\n%s--- want ---\n%s", goldenFile, got, want)
+	}
+}
+
+// analyze runs the shared fixture pipeline: parse, type-check, run the
+// analyzer, apply //lint:ignore directives, and append malformed-
+// directive diagnostics, exactly as lint.Run does for real packages.
+// Diagnostics come back in lint.Run's sort order.
+func analyze(t *testing.T, fixtureDir string, a *lint.Analyzer) ([]lint.Diagnostic, []*expectation) {
 	t.Helper()
 
 	wd, err := os.Getwd()
@@ -94,29 +158,29 @@ func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("linttest: running %s: %v", a.Name, err)
 	}
+	directives, malformed := lint.ParseDirectives(loader.Fset, files)
+	diags = lint.Suppress(diags, directives)
+	diags = append(diags, malformed...)
+	sortDiags(diags)
+	return diags, expects
+}
 
-	for i := range diags {
-		d := &diags[i]
-		matched := false
-		for _, e := range expects {
-			if e.hit || e.file != filepath.Base(d.Pos.Filename) || e.line != d.Pos.Line {
-				continue
-			}
-			if e.re.MatchString(d.Message) {
-				e.hit = true
-				matched = true
-				break
-			}
+// sortDiags orders diagnostics the way lint.Run does: by position,
+// then analyzer name.
+func sortDiags(diags []lint.Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
 		}
-		if !matched {
-			t.Errorf("unexpected diagnostic: %s", d)
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
 		}
-	}
-	for _, e := range expects {
-		if !e.hit {
-			t.Errorf("%s:%d: no diagnostic matching %s", e.file, e.line, e.raw)
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
 		}
-	}
+		return a.Analyzer < b.Analyzer
+	})
 }
 
 func parseWants(t *testing.T, loader *lint.Loader, f *ast.File, name string) []*expectation {

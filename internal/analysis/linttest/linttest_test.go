@@ -1,0 +1,17 @@
+package linttest_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/detclock"
+	"repro/internal/analysis/linttest"
+)
+
+// TestMalformedDirectives is the framework's negative test: a
+// //lint:ignore with no analyzer name, one with no reason, and an
+// unknown verb must each be a diagnostic in their own right,
+// regardless of which analyzer the fixture runs under (detclock here
+// finds nothing, so the golden file is pure directive diagnostics).
+func TestMalformedDirectives(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/malformed", detclock.Analyzer, "testdata/src/malformed/golden.txt")
+}

@@ -1,0 +1,14 @@
+// Package malformed exercises the framework's directive validation:
+// every //lint: comment below is broken in a different way, and each
+// must surface as a "directive" diagnostic — a typo in a suppression
+// fails the run instead of silently suppressing nothing.
+package malformed
+
+//lint:ignore
+func noAnalyzer() {}
+
+//lint:ignore locksafe
+func noReason() {}
+
+//lint:frobnicate reason text
+func unknownVerb() {}

@@ -1,0 +1,288 @@
+// Package locksafe guards the race-prone packages (fault plans shared
+// across sweep workers, the recovery layer, the experiment engine's
+// cache store) against the three lock-handling mistakes that produce
+// nondeterministic corruption rather than clean failures:
+//
+//   - lock-by-value: copying a struct that contains a sync.Mutex or
+//     sync.RWMutex (by assignment, by-value call argument, or value
+//     receiver) forks the lock state, so two goroutines each "hold"
+//     their own copy and the critical section silently stops excluding;
+//   - defer-less unlock on multi-return paths: a Lock whose Unlock is
+//     a plain statement in a function with several returns after the
+//     Lock leaves a path that exits with the lock held;
+//   - double-lock: re-locking a mutex already held in the same block
+//     self-deadlocks (sync mutexes are not reentrant).
+//
+// go vet's copylocks catches some of this; locksafe runs in the same
+// repolint pass as the repo's determinism analyzers so the invariant
+// set travels together, and adds the defer/double-lock checks vet
+// does not have.
+package locksafe
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/lint"
+)
+
+// Analyzer is the locksafe check. It applies repo-wide: lock misuse is
+// wrong in CLIs and test helpers just as in the simulation core.
+var Analyzer = &lint.Analyzer{
+	Name: "locksafe",
+	Doc: "flag lock-by-value copies of structs containing sync.Mutex/RWMutex, " +
+		"defer-less Unlock in functions with multiple return paths, and " +
+		"double-lock of a mutex already held in the same block",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkValueReceiver(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			checkFuncBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFuncBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignCopy(pass, v)
+			case *ast.CallExpr:
+				checkArgCopy(pass, v)
+			case *ast.BlockStmt:
+				checkDoubleLock(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkValueReceiver flags methods whose value receiver copies a
+// lock-containing struct on every call.
+func checkValueReceiver(pass *lint.Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	rt := pass.TypeOf(fd.Recv.List[0].Type)
+	if rt == nil {
+		return
+	}
+	if _, isPtr := rt.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsLock(rt) {
+		pass.Reportf(fd.Recv.List[0].Pos(), "value receiver copies %s, which contains a lock: use a pointer receiver", typeName(pass, rt))
+	}
+}
+
+// checkAssignCopy flags assignments whose right-hand side copies an
+// existing lock-containing value. Composite literals and address-of
+// expressions are allowed: initializing a fresh zero-valued lock is
+// fine, only copying one after first use forks its state.
+func checkAssignCopy(pass *lint.Pass, st *ast.AssignStmt) {
+	for _, rhs := range st.Rhs {
+		if !isCopySource(rhs) {
+			continue
+		}
+		if t := pass.TypeOf(rhs); t != nil && containsLock(t) {
+			pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a lock: locks must not be copied after first use", typeName(pass, t))
+		}
+	}
+}
+
+// checkArgCopy flags call arguments that pass a lock-containing value
+// by value.
+func checkArgCopy(pass *lint.Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if !isCopySource(arg) {
+			continue
+		}
+		if t := pass.TypeOf(arg); t != nil && containsLock(t) {
+			pass.Reportf(arg.Pos(), "call passes %s by value, which contains a lock: pass a pointer", typeName(pass, t))
+		}
+	}
+}
+
+// isCopySource reports whether e denotes an existing value whose
+// assignment or by-value passing performs a copy (as opposed to a
+// fresh composite literal, an address, or a conversion of one).
+func isCopySource(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// checkFuncBody applies the defer-less-unlock check to one function
+// body (declaration or literal), without descending into nested
+// function literals — each gets its own call.
+func checkFuncBody(pass *lint.Pass, body *ast.BlockStmt) {
+	type lockSite struct {
+		pos  token.Pos
+		recv string
+		kind string // "Lock" or "RLock"
+	}
+	var locks []lockSite
+	deferred := make(map[string]bool) // recv+unlock kind seen in a defer
+	plain := make(map[string]bool)    // recv+unlock kind as plain statement
+	var returns []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, v.Pos())
+		case *ast.DeferStmt:
+			if recv, method, ok := syncLockCall(pass, v.Call); ok && (method == "Unlock" || method == "RUnlock") {
+				deferred[recv+"."+method] = true
+			}
+		case *ast.CallExpr:
+			if recv, method, ok := syncLockCall(pass, v); ok {
+				switch method {
+				case "Lock", "RLock":
+					locks = append(locks, lockSite{v.Pos(), recv, method})
+				case "Unlock", "RUnlock":
+					plain[recv+"."+method] = true
+				}
+			}
+		}
+		return true
+	})
+	for _, l := range locks {
+		unlock := "Unlock"
+		if l.kind == "RLock" {
+			unlock = "RUnlock"
+		}
+		if deferred[l.recv+"."+unlock] || !plain[l.recv+"."+unlock] {
+			continue
+		}
+		after := 0
+		for _, r := range returns {
+			if r > l.pos {
+				after++
+			}
+		}
+		if after >= 2 {
+			pass.Reportf(l.pos, "%s.%s with a non-deferred %s and %d return paths after it: a path can exit with the lock held; defer %s.%s()",
+				l.recv, l.kind, unlock, after, l.recv, unlock)
+		}
+	}
+}
+
+// checkDoubleLock scans the direct statements of one block in order,
+// tracking which receivers hold a lock, and flags a re-lock of a
+// receiver already held. Branch-local locking lives in nested blocks,
+// which get their own scan, so if/else arms do not false-positive.
+func checkDoubleLock(pass *lint.Pass, block *ast.BlockStmt) {
+	held := make(map[string]string) // recv -> "Lock" | "RLock"
+	for _, st := range block.List {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		recv, method, ok := syncLockCall(pass, call)
+		if !ok {
+			continue
+		}
+		switch method {
+		case "Lock":
+			if prev, locked := held[recv]; locked {
+				pass.Reportf(call.Pos(), "%s.Lock() while already holding %s.%s in this block: sync locks are not reentrant, this self-deadlocks", recv, recv, prev)
+			}
+			held[recv] = "Lock"
+		case "RLock":
+			if prev, locked := held[recv]; locked && prev == "Lock" {
+				pass.Reportf(call.Pos(), "%s.RLock() while already holding %s.Lock in this block: sync locks are not reentrant, this self-deadlocks", recv, recv)
+			}
+			held[recv] = "RLock"
+		case "Unlock", "RUnlock":
+			delete(held, recv)
+		}
+	}
+}
+
+// syncLockCall resolves a call of the form recv.Lock()/Unlock()/
+// RLock()/RUnlock() where the method belongs to package sync (directly
+// or promoted through an embedded mutex). recv is the receiver
+// expression rendered as source text, the identity double-lock and
+// defer matching key on.
+func syncLockCall(pass *lint.Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), sel.X); err != nil {
+		return "", "", false
+	}
+	return buf.String(), sel.Sel.Name, true
+}
+
+// containsLock reports whether a value of type t embeds lock state:
+// it is, or transitively contains (through struct fields and arrays),
+// a sync.Mutex or sync.RWMutex.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, make(map[types.Type]bool))
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}
+
+// typeName renders t relative to the analyzed package.
+func typeName(pass *lint.Pass, t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

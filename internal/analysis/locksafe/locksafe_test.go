@@ -1,0 +1,18 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", locksafe.Analyzer)
+}
+
+// TestGolden pins exact positions and full message text, including
+// that the suppressed snapshot copy produces nothing.
+func TestGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/a", locksafe.Analyzer, "testdata/golden.txt")
+}

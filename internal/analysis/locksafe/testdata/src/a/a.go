@@ -1,0 +1,111 @@
+// Package a is the locksafe fixture: lock-by-value copies, defer-less
+// unlocks on multi-return paths, and double-locks are flagged; the
+// standard defer discipline is not.
+package a
+
+import "sync"
+
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type RW struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func copies(g Guarded) int {
+	g2 := g // want `assignment copies Guarded, which contains a lock`
+	return g2.n
+}
+
+func (g Guarded) ValueRecv() int { // want `value receiver copies Guarded, which contains a lock`
+	return g.n
+}
+
+func (g *Guarded) PtrRecv() int { return g.n } // ok
+
+func byValue(g Guarded) int { return g.n }
+
+func callsByValue(g *Guarded) int {
+	return byValue(*g) // want `call passes Guarded by value, which contains a lock`
+}
+
+func fresh() *Guarded {
+	return &Guarded{n: 1} // ok: composite literal initializes a zero-valued lock
+}
+
+func deferless(g *Guarded, a, b int) int {
+	g.mu.Lock() // want `g\.mu\.Lock with a non-deferred Unlock and 2 return paths`
+	if a > b {
+		g.mu.Unlock()
+		return a
+	}
+	g.mu.Unlock()
+	return b
+}
+
+func deferred(g *Guarded, a, b int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func straightline(g *Guarded) {
+	g.mu.Lock() // ok: no early returns, unlock on the single path
+	g.n++
+	g.mu.Unlock()
+}
+
+func double(g *Guarded) {
+	g.mu.Lock()
+	g.mu.Lock() // want `g\.mu\.Lock\(\) while already holding g\.mu\.Lock`
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func relock(g *Guarded) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.mu.Lock() // ok: previous hold was released
+	g.n++
+	g.mu.Unlock()
+}
+
+func branchLocks(g *Guarded, cond bool) {
+	if cond {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	} else {
+		g.mu.Lock() // ok: sibling branch, never held together
+		g.n--
+		g.mu.Unlock()
+	}
+}
+
+func readThenWrite(r *RW, k int) {
+	r.mu.Lock()
+	r.mu.RLock() // want `r\.mu\.RLock\(\) while already holding r\.mu\.Lock`
+	_ = r.m[k]
+	r.mu.RUnlock()
+	r.mu.Unlock()
+}
+
+func (r *RW) get(k int) int {
+	r.mu.RLock() // ok: one return after the lock, straight-line pair
+	v := r.m[k]
+	r.mu.RUnlock()
+	return v
+}
+
+func suppressed(g *Guarded) Guarded {
+	//lint:ignore locksafe fixture snapshots the guarded value for a test assertion
+	snapshot := *g
+	return snapshot
+}

@@ -1,0 +1,68 @@
+// Package a is the waitleak fixture: goroutines with no visible join
+// and wg.Add calls inside the goroutine they count are flagged; the
+// repo's standard join shapes are not.
+package a
+
+import "sync"
+
+func leaky() {
+	go func() { // want `goroutine has no visible join`
+		println("work")
+	}()
+}
+
+func addInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the spawned goroutine races with Wait`
+		defer wg.Done()
+		println("work")
+	}()
+	wg.Wait()
+}
+
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("work")
+	}()
+	wg.Wait()
+}
+
+func channelJoin() string {
+	done := make(chan string)
+	go func() {
+		done <- "work"
+	}()
+	return <-done
+}
+
+func closeJoin() {
+	out := make(chan int)
+	go func() {
+		close(out)
+	}()
+	<-out
+}
+
+func selectJoin(stop chan struct{}, out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-stop:
+		}
+	}()
+}
+
+func named() {
+	go helper() // ok: named functions own their join discipline
+}
+
+func helper() {}
+
+func suppressed() {
+	//lint:ignore waitleak fixture: process-lifetime logger, joined by exit
+	go func() {
+		println("log")
+	}()
+}

@@ -1,0 +1,18 @@
+package waitleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/linttest"
+	"repro/internal/analysis/waitleak"
+)
+
+func TestWaitleak(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", waitleak.Analyzer)
+}
+
+// TestGolden pins exact positions and full message text, including
+// that the suppressed fire-and-forget goroutine produces nothing.
+func TestGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/a", waitleak.Analyzer, "testdata/golden.txt")
+}

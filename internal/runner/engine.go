@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/wallclock"
 )
 
 // Cell is one independent unit of a sweep: a key describing the
@@ -81,7 +82,7 @@ func (e *Exec) Run(label string, cells []Cell) ([]Result, []bool, error) {
 	errs := make([]error, len(todo))
 	var storeMu sync.Mutex
 	var storeErr error
-	start := time.Now()
+	start := wallclock.Now()
 	var lastTick atomic.Int64
 	sim.ForEachProgress(len(todo), e.Workers, func(j int) {
 		i := todo[j]
@@ -113,7 +114,7 @@ func (e *Exec) Run(label string, cells []Cell) ([]Result, []bool, error) {
 		return nil, nil, storeErr
 	}
 	if e.Progress != nil && len(todo) > 0 {
-		fmt.Fprintf(e.Progress, "%s: computed %d cells in %s\n", label, len(todo), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(e.Progress, "%s: computed %d cells in %s\n", label, len(todo), wallclock.Since(start).Round(time.Millisecond))
 	}
 	if e.Summary != nil {
 		e.Summary.add(batch)
@@ -129,12 +130,12 @@ func (e *Exec) ticker(label string, total int, start time.Time, lastTick *atomic
 		return nil
 	}
 	return func(done int) {
-		now := time.Now().UnixMilli()
+		now := wallclock.Now().UnixMilli()
 		last := lastTick.Load()
 		if now-last < 2000 || done == total || !lastTick.CompareAndSwap(last, now) {
 			return
 		}
-		elapsed := time.Since(start)
+		elapsed := wallclock.Since(start)
 		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Round(time.Second)
 		fmt.Fprintf(e.Progress, "%s: %d/%d cells, ETA %s\n", label, done, total, eta)
 	}

@@ -61,9 +61,7 @@ func (s *Summary) Finish(fig, shard string, workers int, cacheDir string, wallMS
 
 // WriteFile writes the summary as indented JSON; "-" writes to stderr.
 func (s *Summary) WriteFile(path string) error {
-	s.mu.Lock()
-	buf, err := json.MarshalIndent(s, "", "  ")
-	s.mu.Unlock()
+	buf, err := s.marshal()
 	if err != nil {
 		return fmt.Errorf("runner: summary: %w", err)
 	}
@@ -73,4 +71,12 @@ func (s *Summary) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, buf, 0o644)
+}
+
+// marshal snapshots the summary as JSON under the lock; the deferred
+// unlock keeps every marshal-error path from exiting with the lock held.
+func (s *Summary) marshal() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.MarshalIndent(s, "", "  ")
 }

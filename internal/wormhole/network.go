@@ -391,7 +391,12 @@ func (n *Network) SetKernel(k Kernel) {
 // slice) after Complete/ArrivalFunc return — the object will be reset
 // and reissued. Recycling never changes simulated behaviour: IDs,
 // timings and statistics are identical either way.
-func (n *Network) SetRecycling(on bool) { n.recycle = on }
+func (n *Network) SetRecycling(on bool) {
+	n.recycle = on
+	if on {
+		n.reserve()
+	}
+}
 
 // AdvanceTo fast-forwards the clock when the fabric is idle, so software
 // latencies far larger than network activity do not cost simulation work.
@@ -406,7 +411,11 @@ func (n *Network) AdvanceTo(t int64) {
 	n.now = t
 }
 
-// alloc returns a zeroed worm, reusing a pooled one when available.
+// alloc returns a zeroed worm, reusing a pooled one when available. The
+// &Worm{} miss path is the pool's one sanctioned allocation: steady
+// state hits the free list and reuses the path/passed backing arrays.
+//
+//lint:hotpath
 func (n *Network) alloc() *Worm {
 	k := len(n.free) - 1
 	if k < 0 {
@@ -441,7 +450,32 @@ func (n *Network) Send(src, dst NodeID, bytes int, tag any, onArrive ArrivalFunc
 	w.createdAt = n.now
 	n.nextID++
 	n.worms = append(n.worms, w)
+	n.reserve()
 	return w
+}
+
+// reserve grows the completed and free lists, outside the hot regions,
+// to the capacity the per-cycle paths may need, so moveFlitsFast and
+// reap can push by index without append. Invariants: every in-flight
+// worm may complete within one Step, so cap(completed) covers
+// len(worms); with recycling, reap pushes each drained worm onto the
+// free list while arrival callbacks may Send (shrinking free, growing
+// worms) mid-drain, so cap(free) covers the free list plus every worm
+// that is in flight or awaiting drain.
+func (n *Network) reserve() {
+	if cap(n.completed) < len(n.worms) {
+		grown := make([]*Worm, len(n.completed), 2*len(n.worms))
+		copy(grown, n.completed)
+		n.completed = grown
+	}
+	if !n.recycle {
+		return
+	}
+	if need := len(n.free) + len(n.worms) + len(n.completed); cap(n.free) < need {
+		grown := make([]*Worm, len(n.free), 2*need)
+		copy(grown, n.free)
+		n.free = grown
+	}
 }
 
 // Cancel withdraws an in-flight worm from the fabric at the current
@@ -518,6 +552,8 @@ func (n *Network) Unreachable(buf []*Worm) []*Worm {
 // downstream-first, then headers attempt channel acquisition
 // oldest-worm-first, then arrival callbacks fire for worms completed this
 // cycle.
+//
+//lint:hotpath
 func (n *Network) Step() {
 	if n.kernel == KernelReference {
 		n.stepReference()
@@ -535,9 +571,11 @@ func (n *Network) Step() {
 // router decision, bulk-crediting Cycles, BlockedCycles and
 // InjectWaitCycles for the skipped stretch. Long software gaps and
 // blocked stretches therefore cost O(1) instead of O(cycles × worms).
+//
+//lint:hotpath
 func (n *Network) StepUntil(limit int64) {
 	if limit <= n.now {
-		panic(fmt.Sprintf("wormhole: StepUntil(%d) not after now=%d", limit, n.now))
+		n.badStepUntil(limit)
 	}
 	n.Step()
 	if n.kernel == KernelReference || n.progress || n.faultStall {
@@ -561,9 +599,17 @@ func (n *Network) StepUntil(limit int64) {
 	}
 }
 
+// badStepUntil reports a StepUntil limit that is not in the future.
+// Outlined from StepUntil so the hot entry point carries no fmt call.
+func (n *Network) badStepUntil(limit int64) {
+	panic(fmt.Sprintf("wormhole: StepUntil(%d) not after now=%d", limit, n.now))
+}
+
 // nextHeaderEvent returns the earliest future cycle at which a pending
 // router decision completes (a header sitting at a frontier router whose
 // RouterDelay has not yet elapsed), if any.
+//
+//lint:hotpath
 func (n *Network) nextHeaderEvent() (int64, bool) {
 	var min int64
 	found := false
@@ -588,6 +634,8 @@ func (n *Network) nextHeaderEvent() (int64, bool) {
 // each inject-waiting worm accrues InjectWaitCycles. Callable only when
 // the preceding cycle made no progress, which guarantees every skipped
 // cycle is an identical stall.
+//
+//lint:hotpath
 func (n *Network) skipTo(target int64) {
 	delta := target - n.now
 	n.stats.Cycles += delta
@@ -623,6 +671,8 @@ func (n *Network) skipTo(target int64) {
 // scan, and headers in a cached blocked/inject-wait state skip
 // re-routing. It also records whether the cycle made progress, which
 // StepUntil uses to decide whether the clock may jump.
+//
+//lint:hotpath
 func (n *Network) stepFast() {
 	n.now++
 	n.stats.Cycles++
@@ -657,6 +707,8 @@ func (n *Network) stepFast() {
 // a channel), and records fabric-wide progress. A move refused only by
 // physical-link sharing does not put the worm to sleep — the link may be
 // free next cycle.
+//
+//lint:hotpath
 func (n *Network) moveFlitsFast(w *Worm) {
 	if w.done || len(w.path) == 0 {
 		return
@@ -673,7 +725,11 @@ func (n *Network) moveFlitsFast(w *Worm) {
 			n.release(w, last)
 			w.done = true
 			w.ArrivedAt = n.now
-			n.completed = append(n.completed, w)
+			// Indexed push: Send reserved cap(completed) >= len(worms),
+			// and at most every in-flight worm completes per cycle.
+			k := len(n.completed)
+			n.completed = n.completed[:k+1]
+			n.completed[k] = w
 		}
 	}
 	// Interior hops.
@@ -734,6 +790,8 @@ func (n *Network) moveFlitsFast(w *Worm) {
 // channel changes hands, so the cached verdict — keyed on the network's
 // ownership epoch — is replayed at O(1) instead of re-running the
 // topology's routing function every cycle.
+//
+//lint:hotpath
 func (n *Network) routeHeaderFast(w *Worm) {
 	if w.done || w.routed {
 		return
@@ -785,8 +843,7 @@ func (n *Network) routeHeaderFast(w *Worm) {
 			n.markUnreachable(w, w.path[last])
 			return
 		}
-		panic(fmt.Sprintf("wormhole: topology returned no route from %s for %d->%d",
-			n.topo.DescribeChannel(w.path[last]), w.Src, w.Dst))
+		n.noRouteBug(w, last)
 	}
 	w.BlockedCycles++
 	w.blockCand, w.blockHold = n.blame(cands)
@@ -908,8 +965,7 @@ func (n *Network) routeHeader(w *Worm) {
 			n.markUnreachable(w, w.path[last])
 			return
 		}
-		panic(fmt.Sprintf("wormhole: topology returned no route from %s for %d->%d",
-			n.topo.DescribeChannel(w.path[last]), w.Src, w.Dst))
+		n.noRouteBug(w, last)
 	}
 	w.BlockedCycles++
 	if n.obs != nil {
@@ -934,6 +990,14 @@ func (n *Network) blame(cands []ChannelID) (ChannelID, *Worm) {
 		}
 	}
 	return c, h
+}
+
+// noRouteBug reports a topology that returned no routing candidates on
+// a healthy fabric — a programming error. Outlined so the hot routing
+// loop carries no fmt call.
+func (n *Network) noRouteBug(w *Worm, last int) {
+	panic(fmt.Sprintf("wormhole: topology returned no route from %s for %d->%d",
+		n.topo.DescribeChannel(w.path[last]), w.Src, w.Dst))
 }
 
 func (n *Network) acquire(w *Worm, c ChannelID) {
@@ -974,17 +1038,23 @@ func (n *Network) release(w *Worm, i int) {
 // trace.BlockLog do), and reusing it would scribble over their records.
 // With an observer, completed worms are simply left to the garbage
 // collector, so SetRecycling(true)+SetObserver is safe, just not pooled.
+//
+//lint:hotpath
 func (n *Network) reap() {
-	live := n.worms[:0]
+	k := 0
 	for _, w := range n.worms {
 		if !w.done {
-			live = append(live, w)
+			n.worms[k] = w
+			k++
 		}
 	}
-	n.worms = live
-	done := n.completed
-	n.completed = n.completed[:0]
-	for di, w := range done {
+	clear(n.worms[k:])
+	n.worms = n.worms[:k]
+	// n.completed stays populated while callbacks run: an arrival
+	// callback may Send, and Send's free-list reservation counts the
+	// drained-but-unpooled worms still listed here.
+	for di := 0; di < len(n.completed); di++ {
+		w := n.completed[di]
 		n.stats.Worms++
 		n.stats.BlockedCycles += w.BlockedCycles
 		n.stats.InjectWaitCycles += w.InjectWaitCycles
@@ -995,10 +1065,16 @@ func (n *Network) reap() {
 			w.onArrive(w, n.now)
 		}
 		if n.recycle && n.obs == nil {
-			done[di] = nil
-			n.free = append(n.free, w)
+			n.completed[di] = nil
+			// Indexed push: Send and SetRecycling reserve cap(free) for
+			// every in-flight and drained worm.
+			f := len(n.free)
+			n.free = n.free[:f+1]
+			n.free[f] = w
 		}
 	}
+	clear(n.completed)
+	n.completed = n.completed[:0]
 }
 
 // RunUntilIdle steps until no worms are in flight, up to maxCycles. It
