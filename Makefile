@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke shard-smoke golden golden-check ci
+.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke golden golden-check ci
 
 all: build
 
@@ -15,10 +15,10 @@ test:
 
 # Race-detect the concurrency-bearing packages (the deterministic
 # fan-out harness, the concurrent multicast simulator, the fault plans
-# shared read-only across sweep workers, and the recovery layer the
-# sweeps fan out over).
+# shared read-only across sweep workers, the recovery layer the sweeps
+# fan out over, and the open-system traffic engine).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mcastsim/... ./internal/fault/... ./internal/recover/...
+	$(GO) test -race ./internal/sim/... ./internal/mcastsim/... ./internal/fault/... ./internal/recover/... ./internal/traffic/...
 
 vet:
 	$(GO) vet ./...
@@ -77,6 +77,12 @@ fault-smoke:
 recover-smoke:
 	$(GO) run ./cmd/mcastbench -fig f2 -trials 2
 
+# Open-system smoke: the F3 traffic tables (throughput/latency curves,
+# saturation notes) through the real CLI path, exercising the arrival
+# processes, admission queue and the per-rate traffic cells.
+traffic-smoke:
+	$(GO) run ./cmd/mcastbench -fig f3
+
 # Sharded-engine smoke: split a figure across two shard runs sharing a
 # cache, merge from cache alone, and assert the merge recomputed
 # nothing and printed the same bytes as a serial run. This is the
@@ -102,4 +108,4 @@ golden:
 golden-check: golden
 	git diff --exit-code -- results
 
-ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke shard-smoke golden-check
+ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke golden-check

@@ -14,7 +14,7 @@
 //	mcastbench -fig all -shard 0/4 -cache results/cache   # machine 1 of 4
 //	mcastbench -fig all -resume -summary -                # merge from cache
 //
-// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, all.
+// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, all.
 package main
 
 import (
@@ -48,7 +48,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, all")
+	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, all")
 	flag.IntVar(&o.trials, "trials", 16, "random placements per data point (the paper uses 16)")
 	flag.Uint64Var(&o.seed, "seed", 1997, "PRNG seed")
 	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -217,10 +217,25 @@ func run(o options) error {
 			}
 			return nil
 		},
+		"f3": func() error {
+			// The open system: sustained multicast service under seeded
+			// Poisson load. Offered rate sweeps through the saturation knee
+			// of every tree; the notes pin each series' knee.
+			f3, err := exp.TrafficSweep(meshSuite(), bminSuite(), exp.DefaultTrafficRates(), exp.DefaultTrafficScenario())
+			if err != nil {
+				return err
+			}
+			for _, t := range []*exp.Table{f3.Latency, f3.Throughput, f3.Queue} {
+				if err := emit(t, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
 	}
 
 	runFigs := func() error {
-		order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2"}
+		order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2", "f3"}
 		if o.fig == "all" {
 			for _, name := range order {
 				fmt.Printf("==== %s ====\n", name)

@@ -8,6 +8,8 @@
 //	netsim -topo bfly -nodes 64 -algo opt-tree -k 24 -bytes 8192 -v
 //	netsim -topo mesh -algo opt -faults 5 -fault-seed 3 -deadline 200000
 //	netsim -topo mesh -algo opt -faults 5 -recover -v
+//	netsim -topo mesh -traffic -rate 400 -arrival bursty -admission bounded
+//	netsim -topo bmin -traffic -rate 800 -skew 0.5 -v
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/torus"
 	"repro/internal/trace"
+	"repro/internal/traffic"
 	"repro/internal/wormhole"
 )
 
@@ -54,6 +57,11 @@ func main() {
 		deadline = flag.Int64("deadline", 0, "abort the multicast after this many cycles (0 = generous default)")
 		rec      = flag.Bool("recover", false, "run the reliable-delivery layer (timeout/retransmit, tree repair, binomial fallback); requires a fault flag")
 		cacheDir = flag.String("cache", "", "content-addressed result cache directory (reuse an identical prior run; ignored with -trace/-heatmap)")
+		tra      = flag.Bool("traffic", false, "run sustained open-system traffic (seeded arrivals at -rate) instead of a single multicast")
+		rate     = flag.Float64("rate", 200, "traffic: offered load in requests per million cycles")
+		arr      = flag.String("arrival", "poisson", "traffic: arrival process, poisson or bursty")
+		adm      = flag.String("admission", "fifo", "traffic: admission policy, fifo (unbounded queue) or bounded (overflow is shed)")
+		skew     = flag.Float64("skew", 0, "traffic: fraction of destination draws aimed at a seeded hot set (0 = uniform)")
 	)
 	flag.Parse()
 
@@ -64,6 +72,7 @@ func main() {
 		faults: *faults, degraded: *degraded, flaky: *flaky,
 		faultSeed: *fseed, deadline: *deadline, recover: *rec,
 		cacheDir: *cacheDir,
+		traffic:  *tra, rate: *rate, arrival: *arr, admission: *adm, skew: *skew,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
@@ -86,6 +95,11 @@ type options struct {
 	deadline                int64
 	recover                 bool   // reliable delivery instead of plain mcastsim
 	cacheDir                string // content-addressed result cache, "" = off
+
+	traffic            bool    // open-system traffic instead of a single multicast
+	rate               float64 // offered requests per Mcycle
+	arrival, admission string  // traffic process and queueing policy
+	skew               float64 // hot-spot fraction of destination draws
 }
 
 func run(o options) error {
@@ -140,6 +154,9 @@ func run(o options) error {
 	if o.heatmap && theMesh == nil {
 		return fmt.Errorf("-heatmap requires a 2-D mesh fabric, not %q (use -trace for per-channel reports on other topologies)", topoName)
 	}
+	if o.heatmap && o.traffic {
+		return fmt.Errorf("-heatmap visualizes a single multicast; it cannot overlay -traffic's open-system run (use -trace for the aggregate timeline)")
+	}
 
 	for _, p := range []struct {
 		name string
@@ -178,6 +195,10 @@ func run(o options) error {
 		return err
 	}
 	thold := soft.Hold.At(bytes)
+
+	if o.traffic {
+		return runTraffic(o, topoName, platform, topo, less, n, plan, soft, thold, tend, cfg)
+	}
 
 	var ch chain.Chain
 	var tab core.SplitTable
@@ -356,6 +377,259 @@ func run(o options) error {
 	}
 	printTraces()
 	return nil
+}
+
+// Fixed shape of a CLI traffic run: enough arrivals for stable
+// steady-state quantiles at interactive speed.
+const (
+	trafficRequests = 64
+	trafficWarmup   = 8
+)
+
+// runTraffic drives the open-system engine: seeded arrivals at the
+// configured rate, every request a k-node multicast of the configured
+// size, planned by the chosen algorithm under the measured parameters.
+func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
+	less func(a, b int) bool, n int, plan *fault.Plan,
+	soft model.Software, thold, tend model.Time, cfg wormhole.Config) error {
+	var planFn func(kk int, th, te model.Time) core.SplitTable
+	ordered := true
+	switch o.algo {
+	case "opt":
+		planFn = func(kk int, th, te model.Time) core.SplitTable { return core.NewOptTable(kk, th, te) }
+	case "opt-tree":
+		ordered = false
+		planFn = func(kk int, th, te model.Time) core.SplitTable { return core.NewOptTable(kk, th, te) }
+	case "binomial":
+		planFn = func(kk int, _, _ model.Time) core.SplitTable { return core.BinomialTable{Max: kk} }
+	case "sequential":
+		planFn = func(kk int, _, _ model.Time) core.SplitTable { return core.SequentialTable{Max: kk} }
+	default:
+		return fmt.Errorf("unknown algorithm %q", o.algo)
+	}
+	var lessFn func(a, b int) bool
+	if ordered {
+		lessFn = less
+	}
+	hotNodes := n / 8
+	if hotNodes < 2 {
+		hotNodes = 2
+	}
+	tcfg := traffic.Config{
+		Software:  soft,
+		AddrBytes: o.addrB,
+		Arrival:   traffic.ArrivalSpec{Kind: o.arrival, RatePerMcycle: o.rate},
+		Load:      traffic.Workload{Ks: []int{o.k}, Sizes: []int{o.bytes}, HotFrac: o.skew, HotNodes: hotNodes},
+		Admit:     traffic.Admission{Policy: o.admission},
+		Requests:  trafficRequests,
+		Warmup:    trafficWarmup,
+		Less:      lessFn,
+		Plan:      planFn,
+		TEnd:      func(int) model.Time { return tend },
+		Reliable:  plan != nil,
+		Seed:      o.seed,
+		MaxCycles: o.deadline,
+	}
+
+	var cache *runner.Cache
+	if o.cacheDir != "" {
+		if o.gantt {
+			fmt.Fprintln(os.Stderr, "netsim: -trace needs a live run; ignoring -cache")
+		} else {
+			var err error
+			cache, err = runner.OpenCache(o.cacheDir)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	key := runner.Key{
+		Mode: "netsim-traffic", Platform: platform, Algo: o.algo, Soft: softwareKey(soft),
+		K: o.k, Bytes: o.bytes, Seed: o.seed, AddrBytes: o.addrB, THold: thold, TEnd: tend,
+		Extra: fmt.Sprintf("rate=%g,arr=%s,adm=%s,skew=%g,req=%d,warm=%d,deadline=%d",
+			o.rate, o.arrival, o.admission, o.skew, trafficRequests, trafficWarmup, o.deadline),
+	}
+	if plan != nil {
+		key.FaultSeed = o.faultSeed
+		key.Extra += fmt.Sprintf(",dead=%g,degraded=%g,flaky=%g", o.faults, o.degraded, o.flaky)
+	}
+
+	fmt.Printf("fabric: %s (%d nodes)   algorithm: %s   k=%d   message=%d bytes\n",
+		topoName, n, o.algo, o.k, o.bytes)
+	if plan != nil {
+		fmt.Printf("faults: %s   (reliable delivery on)\n", plan)
+	}
+	fmt.Printf("measured parameters: t_hold=%d  t_end=%d  (ratio %.3f)\n",
+		thold, tend, float64(thold)/float64(tend))
+	fmt.Printf("traffic:             %s arrivals at %g req/Mcycle, %s admission\n",
+		o.arrival, o.rate, o.admission)
+	if o.skew > 0 {
+		fmt.Printf("hot spot:            %.0f%% of destination draws -> %d-node hot set\n", o.skew*100, hotNodes)
+	}
+
+	var res traffic.Result
+	hit := false
+	if cache != nil {
+		if cr, ok := cache.Load(key); ok {
+			res, hit = trafficFromCache(cr), true
+			fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
+		}
+	}
+	if !hit {
+		net := wormhole.New(topo, cfg)
+		if plan != nil {
+			net.SetFaults(plan)
+		}
+		usage := trace.NewChannelUsage(topo)
+		timeline := trace.NewTimeline()
+		if o.gantt {
+			net.SetObserver(trace.Multi{usage, timeline})
+		}
+		var err error
+		res, err = traffic.Run(net, tcfg)
+		if err != nil {
+			return err
+		}
+		if cache != nil {
+			if err := cache.Store(key, trafficToCache(res)); err != nil {
+				return err
+			}
+		}
+		if o.gantt {
+			defer func() {
+				fmt.Println("\nmessage timeline ('!' marks blocked messages):")
+				fmt.Print(timeline.Gantt(64))
+				fmt.Println("\nhottest channels:")
+				fmt.Print(usage.Report(10))
+			}()
+		}
+	}
+
+	m := res.Metrics
+	fmt.Printf("requests:            %d arrivals (%d warm-up), %d completed, %d shed\n",
+		m.Requests, trafficWarmup, m.Completed, m.Shed)
+	fmt.Printf("offered (measured):  %.1f req/Mcycle\n", m.OfferedPerMcycle)
+	fmt.Printf("delivered:           %.1f req/Mcycle\n", m.DeliveredPerMcycle)
+	fmt.Printf("completion latency:  p50=%.0f  p99=%.0f  p999=%.0f  mean=%.1f cycles\n",
+		m.P50, m.P99, m.P999, m.MeanLatency)
+	fmt.Printf("queueing delay:      mean %.1f cycles, max %d\n", m.MeanQueueDelay, m.MaxQueueDelay)
+	fmt.Printf("occupancy:           %.2f requests in service (mean)\n", m.MeanOccupancy)
+	if tcfg.Reliable {
+		fmt.Printf("recovery:            %d retransmits, %d repair sends, %d cancelled, %d abandoned destinations\n",
+			m.Retransmits, m.RepairSends, m.Cancelled, m.AbandonedDests)
+	}
+	fmt.Printf("contention:          %d blocked header cycles\n", m.BlockedCycles)
+	fmt.Printf("one-port wait:       %d cycles\n", m.InjectWaitCycles)
+	fmt.Printf("fabric cycles:       %d\n", m.Cycles)
+
+	if o.verbose {
+		fmt.Println("\nrequests (arrive -> start -> done):")
+		for i, rr := range res.Requests {
+			if rr.Shed {
+				fmt.Printf("  %4d: %8d  shed\n", i, rr.Arrive)
+				continue
+			}
+			fmt.Printf("  %4d: %8d -> %8d -> %8d  (%d cycles, k=%d, %dB)\n",
+				i, rr.Arrive, rr.Start, rr.Done, rr.Done-rr.Arrive, rr.K, rr.Bytes)
+		}
+	}
+	return nil
+}
+
+// trafficToCache/trafficFromCache round-trip the summary-relevant part
+// of a traffic report through the cell cache: the full Metrics block
+// plus per-request service times for -v. Integer fields widen to
+// float64 exactly, and the float metrics survive because the cache's
+// JSON encoding round-trips float64 bit for bit.
+func trafficToCache(res traffic.Result) runner.Result {
+	m := res.Metrics
+	nr := len(res.Requests)
+	arrive, start, done := make([]int64, nr), make([]int64, nr), make([]int64, nr)
+	ks, sizes := make([]int64, nr), make([]int64, nr)
+	for i, rr := range res.Requests {
+		arrive[i], start[i], done[i] = rr.Arrive, rr.Start, rr.Done
+		ks[i], sizes[i] = int64(rr.K), int64(rr.Bytes)
+	}
+	return runner.Result{
+		Metrics: map[string]float64{
+			"requests":           float64(m.Requests),
+			"measured":           float64(m.Measured),
+			"completed":          float64(m.Completed),
+			"shed":               float64(m.Shed),
+			"completed_measured": float64(m.CompletedMeasured),
+			"shed_measured":      float64(m.ShedMeasured),
+			"abandoned":          float64(m.AbandonedDests),
+			"retransmits":        float64(m.Retransmits),
+			"repair_sends":       float64(m.RepairSends),
+			"cancelled":          float64(m.Cancelled),
+			"warm_start":         float64(m.WarmStart),
+			"last_arrival":       float64(m.LastArrival),
+			"end":                float64(m.End),
+			"offered":            m.OfferedPerMcycle,
+			"delivered":          m.DeliveredPerMcycle,
+			"p50":                m.P50,
+			"p99":                m.P99,
+			"p999":               m.P999,
+			"mean_latency":       m.MeanLatency,
+			"queue_delay":        m.MeanQueueDelay,
+			"max_queue_delay":    float64(m.MaxQueueDelay),
+			"occupancy":          m.MeanOccupancy,
+			"worms":              float64(m.Worms),
+			"blocked":            float64(m.BlockedCycles),
+			"wait":               float64(m.InjectWaitCycles),
+			"cycles":             float64(m.Cycles),
+		},
+		Series: map[string][]int64{
+			"arrive": arrive, "start": start, "done": done, "k": ks, "bytes": sizes,
+		},
+	}
+}
+
+func trafficFromCache(r runner.Result) traffic.Result {
+	arrive := r.Series["arrive"]
+	reqs := make([]traffic.RequestResult, len(arrive))
+	for i := range reqs {
+		start := r.Series["start"][i]
+		reqs[i] = traffic.RequestResult{
+			Arrive: arrive[i],
+			Start:  start,
+			Done:   r.Series["done"][i],
+			K:      int(r.Series["k"][i]),
+			Bytes:  int(r.Series["bytes"][i]),
+			Shed:   start < 0,
+		}
+	}
+	return traffic.Result{
+		Requests: reqs,
+		Metrics: traffic.Metrics{
+			Requests:           int(r.Metric("requests")),
+			Measured:           int(r.Metric("measured")),
+			Completed:          int(r.Metric("completed")),
+			Shed:               int(r.Metric("shed")),
+			CompletedMeasured:  int(r.Metric("completed_measured")),
+			ShedMeasured:       int(r.Metric("shed_measured")),
+			AbandonedDests:     int(r.Metric("abandoned")),
+			Retransmits:        int64(r.Metric("retransmits")),
+			RepairSends:        int64(r.Metric("repair_sends")),
+			Cancelled:          int64(r.Metric("cancelled")),
+			WarmStart:          int64(r.Metric("warm_start")),
+			LastArrival:        int64(r.Metric("last_arrival")),
+			End:                int64(r.Metric("end")),
+			OfferedPerMcycle:   r.Metric("offered"),
+			DeliveredPerMcycle: r.Metric("delivered"),
+			P50:                r.Metric("p50"),
+			P99:                r.Metric("p99"),
+			P999:               r.Metric("p999"),
+			MeanLatency:        r.Metric("mean_latency"),
+			MeanQueueDelay:     r.Metric("queue_delay"),
+			MaxQueueDelay:      int64(r.Metric("max_queue_delay")),
+			MeanOccupancy:      r.Metric("occupancy"),
+			Worms:              int64(r.Metric("worms")),
+			BlockedCycles:      int64(r.Metric("blocked")),
+			InjectWaitCycles:   int64(r.Metric("wait")),
+			Cycles:             int64(r.Metric("cycles")),
+		},
+	}
 }
 
 // softwareKey canonically encodes the software cost model for cache

@@ -249,6 +249,139 @@ func TestCacheRoundTripsBothPaths(t *testing.T) {
 	}
 }
 
+func trafficBase() options {
+	o := base()
+	o.traffic, o.rate = true, 400
+	o.arrival, o.admission = "poisson", "fifo"
+	return o
+}
+
+// TestTrafficSummary: the open-system mode prints the steady-state
+// service report and is reproducible run to run, across arrival
+// processes and admission policies.
+func TestTrafficSummary(t *testing.T) {
+	for _, mut := range []func(*options){
+		func(o *options) {},
+		func(o *options) { o.arrival = "bursty" },
+		func(o *options) { o.admission = "bounded"; o.rate = 2000 },
+		func(o *options) { o.skew = 0.5 },
+	} {
+		o := trafficBase()
+		mut(&o)
+		out, err := capture(t, func() error { return run(o) })
+		if err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
+		for _, want := range []string{
+			"traffic:", "offered (measured):", "delivered:",
+			"completion latency:", "queueing delay:", "occupancy:",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("missing %q in traffic summary:\n%s", want, out)
+			}
+		}
+		again, err := capture(t, func() error { return run(o) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != out {
+			t.Fatalf("traffic run not reproducible:\n--- first\n%s\n--- second\n%s", out, again)
+		}
+	}
+}
+
+// TestTrafficReliableUnderFaults: a fault plan flips the engine into
+// Reliable mode and the summary reports the recovery overhead.
+func TestTrafficReliableUnderFaults(t *testing.T) {
+	o := trafficBase()
+	o.faults, o.faultSeed = 3, 2
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reliable delivery on") || !strings.Contains(out, "recovery:") {
+		t.Fatalf("faulted traffic run missing the recovery report:\n%s", out)
+	}
+}
+
+// TestTrafficValidation: malformed traffic flags fail with actionable
+// errors instead of running.
+func TestTrafficValidation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		mut  func(*options)
+		want string
+	}{
+		"zero rate":         {func(o *options) { o.rate = 0 }, "rate must be > 0"},
+		"negative rate":     {func(o *options) { o.rate = -5 }, "rate must be > 0"},
+		"unknown arrival":   {func(o *options) { o.arrival = "steady" }, "unknown arrival process"},
+		"unknown admission": {func(o *options) { o.admission = "lifo" }, "unknown admission policy"},
+		"skew over 1":       {func(o *options) { o.skew = 1.5 }, "HotFrac"},
+		"bad algo":          {func(o *options) { o.algo = "magic" }, "unknown algorithm"},
+	} {
+		o := trafficBase()
+		tc.mut(&o)
+		_, err := capture(t, func() error { return run(o) })
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestTrafficHeatmapRejected: -heatmap has no meaning over an
+// open-system run and must be refused up front.
+func TestTrafficHeatmapRejected(t *testing.T) {
+	o := trafficBase()
+	o.heatmap = true
+	_, err := capture(t, func() error { return run(o) })
+	if err == nil || !strings.Contains(err.Error(), "-heatmap") || !strings.Contains(err.Error(), "-traffic") {
+		t.Fatalf("want a clear -heatmap/-traffic coupling error, got %v", err)
+	}
+}
+
+// TestTrafficCacheRoundTrip: a cached traffic rerun prints the same
+// stdout as the live run — quantiles, rates and the -v per-request log
+// all survive the metric/series encoding — healthy and faulted.
+func TestTrafficCacheRoundTrip(t *testing.T) {
+	for _, faulted := range []bool{false, true} {
+		o := trafficBase()
+		o.verbose = true
+		o.cacheDir = t.TempDir()
+		if faulted {
+			o.faults, o.faultSeed = 3, 2
+		}
+		live, err := capture(t, func() error { return run(o) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := capture(t, func() error { return run(o) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached != live {
+			t.Fatalf("faulted=%v: cached traffic rerun differs:\nlive:\n%s\ncached:\n%s", faulted, live, cached)
+		}
+	}
+}
+
+// TestTrafficCacheKeySeparatesRates: the offered rate is part of the
+// cache identity; changing it must miss, not replay.
+func TestTrafficCacheKeySeparatesRates(t *testing.T) {
+	o := trafficBase()
+	o.cacheDir = t.TempDir()
+	first, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.rate = 800
+	second, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == second {
+		t.Fatal("different rates produced identical output through the cache")
+	}
+}
+
 // TestCacheKeySeparatesRuns: changing an input (the placement seed)
 // must miss the cache, not replay the previous run's numbers.
 func TestCacheKeySeparatesRuns(t *testing.T) {

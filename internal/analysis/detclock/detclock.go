@@ -52,6 +52,7 @@ var scopes = []string{
 	"repro/internal/runner",
 	"repro/internal/exp",
 	"repro/internal/mcastsim",
+	"repro/internal/traffic",
 	"repro/cmd",
 }
 

@@ -17,6 +17,17 @@ func TestGolden(t *testing.T) {
 	linttest.RunGolden(t, "testdata/src/a", detclock.Analyzer, "testdata/golden.txt")
 }
 
+// TestTrafficFixture pins the open-system engine's arrival invariant at
+// the lint layer: wall-clock jitter and global-generator draws in
+// traffic-shaped code are flagged, seeded streams pass.
+func TestTrafficFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/traffic", detclock.Analyzer)
+}
+
+func TestTrafficFixtureGolden(t *testing.T) {
+	linttest.RunGolden(t, "testdata/src/traffic", detclock.Analyzer, "testdata/golden_traffic.txt")
+}
+
 func TestScope(t *testing.T) {
 	applies := detclock.Analyzer.AppliesTo
 	for _, p := range []string{
@@ -27,6 +38,7 @@ func TestScope(t *testing.T) {
 		"repro/internal/runner",
 		"repro/internal/exp",
 		"repro/internal/mcastsim",
+		"repro/internal/traffic",
 		"repro/cmd/mcastbench",
 		"repro/cmd/netsim",
 	} {

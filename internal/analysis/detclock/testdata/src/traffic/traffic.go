@@ -1,0 +1,32 @@
+// Package traffic is the open-system-engine fixture: internal/traffic's
+// arrival invariant says every arrival cycle is a function of seeded
+// streams alone, so the tempting shortcuts — wall-clock jitter on a
+// gap, a global-generator draw for a burst phase — must be flagged,
+// while seed derivation and explicit-generator use pass.
+package traffic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// deriveSeed mimics the engine's xor stream derivation — pure, allowed.
+func deriveSeed(seed uint64) uint64 { return seed ^ 0xa441_9c3a }
+
+// badJitter perturbs an arrival gap with the wall clock: the stream is
+// no longer a function of the seed.
+func badJitter(gap int64) int64 {
+	return gap + time.Now().UnixNano()%3 // want `time\.Now reads the wall clock`
+}
+
+// badPhase draws a burst phase from the process-global generator.
+func badPhase(period int64) int64 {
+	return rand.Int63n(period) // want `rand\.Int63n draws from the process-global generator`
+}
+
+// goodGap draws from an explicitly seeded generator — allowed, though
+// repo code prefers sim.NewRNG.
+func goodGap(seed int64, period int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63n(period)
+}

@@ -114,11 +114,11 @@ func RunConcurrent(net *wormhole.Network, groups []Group, cfg Config) ([]GroupRe
 
 	startStats := net.Stats()
 	deadline := t0 + max
-	wd := newWatchdog(net, cfg)
+	wd := NewWatchdog(net, cfg)
 	for events.Len() > 0 || net.Active() > 0 {
 		if net.Active() == 0 {
 			net.AdvanceTo(events.NextTime())
-			wd.idled()
+			wd.Idled()
 		}
 		events.RunDue(net.Now())
 		if planErr != nil {
@@ -139,7 +139,7 @@ func RunConcurrent(net *wormhole.Network, groups []Group, cfg Config) ([]GroupRe
 				limit = events.NextTime()
 			}
 			net.StepUntil(limit)
-			if err := wd.check(); err != nil {
+			if err := wd.Check(); err != nil {
 				return nil, err
 			}
 			if net.Now() > deadline {

@@ -52,16 +52,21 @@ type Config struct {
 // Config.NoProgressCycles is 0.
 const defaultNoProgress = 4096
 
-// watchdog aborts runs on a degraded or misrouted fabric that can no
+// Watchdog aborts runs on a degraded or misrouted fabric that can no
 // longer make progress, instead of spinning until the cycle deadline.
-type watchdog struct {
+// It is exported so other drive loops over the same fabric (the
+// open-system traffic engine) share one definition of "stuck" instead
+// of drifting copies.
+type Watchdog struct {
 	net      *wormhole.Network
 	window   int64 // <= 0: disabled
 	lastHops int64
 	lastMove int64
 }
 
-func newWatchdog(net *wormhole.Network, cfg Config) watchdog {
+// NewWatchdog arms a watchdog over net using cfg's window settings
+// (Config.NoProgressCycles semantics).
+func NewWatchdog(net *wormhole.Network, cfg Config) Watchdog {
 	w := cfg.NoProgressCycles
 	if w == 0 {
 		w = defaultNoProgress
@@ -69,17 +74,17 @@ func newWatchdog(net *wormhole.Network, cfg Config) watchdog {
 	if min := 2*net.Config().RouterDelay + 64; w > 0 && w < min {
 		w = min
 	}
-	return watchdog{net: net, window: w, lastHops: net.Stats().FlitHops, lastMove: net.Now()}
+	return Watchdog{net: net, window: w, lastHops: net.Stats().FlitHops, lastMove: net.Now()}
 }
 
-// idled resets the movement clock after the driver fast-forwards an idle
+// Idled resets the movement clock after the driver fast-forwards an idle
 // fabric (no worms in flight is not a stall).
-func (wd *watchdog) idled() { wd.lastMove = wd.net.Now() }
+func (wd *Watchdog) Idled() { wd.lastMove = wd.net.Now() }
 
-// check is called after every StepUntil. It surfaces unreachable-
+// Check is called after every StepUntil. It surfaces unreachable-
 // destination errors recorded by the fault layer and detects fabric-wide
 // no-progress freezes.
-func (wd *watchdog) check() error {
+func (wd *Watchdog) Check() error {
 	if err := wd.net.Err(); err != nil {
 		return fmt.Errorf("mcastsim: %w; %s", err, wd.net.DeadlockReport(8))
 	}
@@ -180,11 +185,11 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 
 	startStats := net.Stats()
 	deadline := r.t0 + max
-	wd := newWatchdog(net, cfg)
+	wd := NewWatchdog(net, cfg)
 	for r.events.Len() > 0 || net.Active() > 0 {
 		if net.Active() == 0 {
 			net.AdvanceTo(r.events.NextTime())
-			wd.idled()
+			wd.Idled()
 		}
 		r.events.RunDue(net.Now())
 		if planErr != nil {
@@ -207,7 +212,7 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 				limit = r.events.NextTime()
 			}
 			net.StepUntil(limit)
-			if err := wd.check(); err != nil {
+			if err := wd.Check(); err != nil {
 				return Result{}, err
 			}
 			if net.Now() > deadline {

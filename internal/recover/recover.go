@@ -457,13 +457,20 @@ func (r *runner) fail(x *xfer, frozen bool) {
 	}
 	x.attempt++
 	r.res.Overhead.Retransmits++
-	shift := uint(x.attempt - 1)
+	r.issue(x, now+Backoff(r.cfg.BackoffBase, x.attempt, r.rng))
+}
+
+// Backoff returns the bounded exponential retransmission delay for the
+// given 1-based attempt: base<<min(attempt-1, 6) plus one seeded jitter
+// draw in [0, base). It is the single backoff schedule shared by the
+// recovery layer and the open-system traffic engine's reliable mode, so
+// both layers desynchronize retries identically. base must be >= 1.
+func Backoff(base int64, attempt int, rng *sim.RNG) int64 {
+	shift := uint(attempt - 1)
 	if shift > 6 {
 		shift = 6
 	}
-	backoff := r.cfg.BackoffBase << shift
-	backoff += int64(r.rng.Uint64() % uint64(r.cfg.BackoffBase))
-	r.issue(x, now+backoff)
+	return base<<shift + int64(rng.Uint64()%uint64(base))
 }
 
 // giveUp declares the (from, to) pair unroutable, re-plans the rest of

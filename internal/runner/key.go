@@ -36,8 +36,9 @@ type Key struct {
 	// healthy fabric), "fault" (multicast on a degraded fabric),
 	// "recover" (reliable-delivery run plus reachability oracle),
 	// "conc" (concurrent batch), "temporal" (tuner trial), "bcast" /
-	// "scatter" (full-machine broadcast variants), "netsim" (CLI
-	// single run).
+	// "scatter" (full-machine broadcast variants), "traffic" (one
+	// open-system run at an offered rate, carried in X), "netsim" /
+	// "netsim-recover" / "netsim-traffic" (CLI single runs).
 	Mode string
 	// Platform is the fabric label, which pins topology, size and
 	// routing policy ("16x16 mesh", "128-node BMIN (straight ascent)").

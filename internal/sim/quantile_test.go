@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// TestPercentileExactSmallSamples pins the nearest-rank estimator
+// against a hand-sorted reference on small samples: the p-quantile is
+// the element at rank ceil(p*n), 1-indexed in sorted order.
+func TestPercentileExactSmallSamples(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5} // sorted: 1 3 5 7 9
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1},     // rank floor clamps to the minimum
+		{0.2, 1},   // ceil(1.0) = 1
+		{0.21, 3},  // ceil(1.05) = 2
+		{0.5, 5},   // ceil(2.5) = 3
+		{0.8, 7},   // ceil(4.0) = 4
+		{0.99, 9},  // ceil(4.95) = 5
+		{0.999, 9}, // p999 of n=5 is the max
+		{1, 9},
+	}
+	for _, tc := range cases {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(%v, %g) = %g, want %g", xs, tc.p, got, tc.want)
+		}
+	}
+	if xs[0] != 9 || xs[4] != 5 {
+		t.Errorf("Percentile reordered its input: %v", xs)
+	}
+}
+
+// TestPercentileAgainstSortedReference: on a larger seeded sample every
+// quantile must equal the directly indexed element of the sorted copy.
+func TestPercentileAgainstSortedReference(t *testing.T) {
+	rng := NewRNG(17)
+	xs := make([]float64, 733)
+	for i := range xs {
+		xs[i] = rng.Float64() * 1000
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		rank := int(math.Ceil(p * float64(len(xs))))
+		if rank < 1 {
+			rank = 1
+		}
+		if got, want := Percentile(xs, p), sorted[rank-1]; got != want {
+			t.Errorf("p=%g: got %g, want sorted[%d]=%g", p, got, rank-1, want)
+		}
+	}
+}
+
+// TestPercentileSmallSampleTails: the edge the traffic metrics rely on —
+// p999 with far fewer than 1000 samples must degrade to the maximum,
+// never panic and never return NaN; the empty sample reports 0.
+func TestPercentileSmallSampleTails(t *testing.T) {
+	for n := 0; n <= 12; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i + 1)
+		}
+		got := Percentile(xs, 0.999)
+		if math.IsNaN(got) {
+			t.Fatalf("p999 of n=%d is NaN", n)
+		}
+		want := float64(n) // the max, or 0 when empty
+		if got != want {
+			t.Errorf("p999 of n=%d = %g, want %g", n, got, want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %g, want 0", got)
+	}
+}
+
+func TestPercentileRejectsBadP(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(_, %g) did not panic", p)
+				}
+			}()
+			Percentile([]float64{1}, p)
+		}()
+	}
+}
+
+// TestExpDistribution: the unit-exponential draw has mean and standard
+// deviation 1 within sampling tolerance, and is always finite and
+// non-negative (Float64's [0,1) range keeps log away from 0).
+func TestExpDistribution(t *testing.T) {
+	rng := NewRNG(23)
+	var s Stats
+	for i := 0; i < 200000; i++ {
+		x := rng.Exp()
+		if x < 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("draw %d: Exp() = %g", i, x)
+		}
+		s.Add(x)
+	}
+	if math.Abs(s.Mean()-1) > 0.01 {
+		t.Errorf("Exp mean = %g, want 1 +- 0.01", s.Mean())
+	}
+	if math.Abs(s.StdDev()-1) > 0.02 {
+		t.Errorf("Exp stddev = %g, want 1 +- 0.02", s.StdDev())
+	}
+}
+
+// TestTimeWeightedMean: step-function integration over a window, with
+// the last value extended to the query point.
+func TestTimeWeightedMean(t *testing.T) {
+	var w TimeWeighted
+	if w.Started() {
+		t.Fatal("zero TimeWeighted claims to be started")
+	}
+	if got := w.Mean(100); got != 0 {
+		t.Errorf("Mean before any Set = %g, want 0", got)
+	}
+	w.Set(10, 2) // value 2 on [10, 30)
+	w.Set(30, 4) // value 4 on [30, 50]
+	if got, want := w.Mean(50), (2.0*20+4.0*20)/40; got != want {
+		t.Errorf("Mean(50) = %g, want %g", got, want)
+	}
+	// Zero-length and inverted windows are 0, not NaN.
+	if got := w.Mean(10); got != 0 {
+		t.Errorf("Mean at window start = %g, want 0", got)
+	}
+	w.Set(50, 0) // drop to idle; extending past the last Set adds nothing
+	if got, want := w.Mean(90), (2.0*20+4.0*20)/80; got != want {
+		t.Errorf("Mean(90) = %g, want %g", got, want)
+	}
+}

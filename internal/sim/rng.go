@@ -7,7 +7,10 @@
 // experiment tables byte-for-byte stable.
 package sim
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a SplitMix64 pseudo-random generator. It is tiny, fast, has a
 // full 2^64 period, and unlike math/rand its stream is stable across Go
@@ -50,6 +53,15 @@ func (r *RNG) Intn(n int) int {
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed value with mean 1, via
+// inversion of the uniform stream: -ln(1-U). Since Float64 is in [0, 1),
+// the argument to log stays in (0, 1] and the result is always finite
+// and non-negative — arrival processes scale it by the desired mean
+// inter-arrival gap.
+func (r *RNG) Exp() float64 {
+	return -math.Log(1 - r.Float64())
 }
 
 // Perm returns a random permutation of [0, n), Fisher-Yates shuffled.

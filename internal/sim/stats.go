@@ -72,6 +72,71 @@ func (s *Stats) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.0f max=%.0f", s.n, s.Mean(), s.StdDev(), s.min, s.max)
 }
 
+// Percentile returns the p-quantile (0 <= p <= 1) of a sample slice by
+// the nearest-rank method on a sorted copy: the smallest sample x such
+// that at least ceil(p*n) samples are <= x. The slice is not modified.
+// The estimator is exact — no interpolation — so tails degrade
+// gracefully on small samples: p999 of n < 1000 samples is simply the
+// maximum, never NaN and never a panic (the Median small-sample rule,
+// extended to arbitrary quantiles). With no samples it returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("sim: Percentile p outside [0, 1]")
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	rank := int(math.Ceil(p * float64(len(c))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(c) {
+		rank = len(c)
+	}
+	return c[rank-1]
+}
+
+// TimeWeighted accumulates the time-weighted mean of a right-continuous
+// step function — the estimator for occupancy-style metrics ("average
+// requests in service") over a measurement window. Set records the
+// function's new value at time t (charging the previous value for the
+// elapsed interval); the first Set opens the window.
+type TimeWeighted struct {
+	t0, last int64
+	v        float64
+	integral float64
+	started  bool
+}
+
+// Started reports whether the window has been opened by a first Set.
+func (w *TimeWeighted) Started() bool { return w.started }
+
+// Set records that the step function takes value v from time t onward.
+// Calls must not go backwards in time.
+func (w *TimeWeighted) Set(t int64, v float64) {
+	if !w.started {
+		w.t0, w.started = t, true
+	} else {
+		w.integral += w.v * float64(t-w.last)
+	}
+	w.last, w.v = t, v
+}
+
+// Mean returns the time-weighted mean over [start, end], extending the
+// last value to end. It returns 0 on an empty or zero-length window.
+func (w *TimeWeighted) Mean(end int64) float64 {
+	if !w.started || end <= w.t0 {
+		return 0
+	}
+	integral := w.integral
+	if end > w.last {
+		integral += w.v * float64(end-w.last)
+	}
+	return integral / float64(end-w.t0)
+}
+
 // Median returns the median of a sample slice (the slice is not modified).
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -1,0 +1,408 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/mcastsim"
+	"repro/internal/plan"
+	recov "repro/internal/recover"
+	"repro/internal/sim"
+	"repro/internal/wormhole"
+)
+
+// xfer is one delivery assignment of one request: from must get the
+// message to to, which then becomes responsible for the ascending chain
+// positions live (to included). It survives retransmissions; seq
+// invalidates deadline and injection events of superseded issues —
+// exactly the internal/recover discipline, carried per request.
+type xfer struct {
+	rs       *reqState
+	from, to int
+	live     []int
+	attempt  int
+	seq      int
+	worm     *wormhole.Worm
+	done     bool
+}
+
+// reqState tracks one request through admission, service and completion.
+type reqState struct {
+	req         *request
+	start, done int64 // -1 until the event happens
+	delivered   []bool
+	resolved    int // delivered + abandoned chain positions
+	abandoned   int
+	shed        bool
+}
+
+type engine struct {
+	net    *wormhole.Network
+	cfg    Config
+	events *sim.EventQueue
+	rng    *sim.RNG // reliable-mode backoff jitter
+	states []*reqState
+
+	// One-port ledger per fabric node: when each node's send port frees
+	// up. Shared across all in-flight requests, so overlapping multicasts
+	// serialize their software sends on a common CPU timeline — the
+	// open-system generalization of mcastsim's per-run t_hold spacing.
+	portFree []int64
+
+	inflight  int
+	queue     []*reqState
+	shedCount int
+
+	occ       sim.TimeWeighted
+	warmStart int64
+
+	// Reliable-mode machinery.
+	reach       []int8 // nodes*nodes Routable cache: 0 unknown, 1 yes, -1 no
+	unBuf       []*wormhole.Worm
+	retransmits int64
+	repairSends int64
+	cancelled   int64
+
+	runErr error
+}
+
+// Run executes one open-system traffic run on net, which must be a
+// freshly idle fabric (optionally carrying a fault plan, which requires
+// Reliable mode). It returns per-request records plus steady-state
+// metrics; errors are reserved for misconfiguration, fabric errors in
+// plain mode, and safety-net exhaustion.
+func Run(net *wormhole.Network, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	nodes := net.Topology().NumNodes()
+	if err := cfg.validate(nodes); err != nil {
+		return Result{}, err
+	}
+	if err := net.Quiesced(); err != nil {
+		return Result{}, fmt.Errorf("traffic: fabric not idle: %w", err)
+	}
+	if net.Faults() != nil && !cfg.Reliable {
+		return Result{}, fmt.Errorf("traffic: fabric carries a fault plan; Reliable mode is required")
+	}
+
+	t0 := net.Now()
+	reqs := genRequests(cfg, nodes)
+	e := &engine{
+		net:      net,
+		cfg:      cfg,
+		events:   new(sim.EventQueue),
+		rng:      sim.NewRNG(cfg.Seed ^ seedBackoff),
+		states:   make([]*reqState, len(reqs)),
+		portFree: make([]int64, nodes),
+	}
+	if cfg.Reliable {
+		e.reach = make([]int8, nodes*nodes)
+	}
+	e.warmStart = t0 + reqs[cfg.Warmup].arrive
+	// The occupancy marker is scheduled before any arrival, so at the
+	// warm-start cycle it observes the in-service count before that
+	// cycle's admissions mutate it.
+	e.events.At(e.warmStart, func() { e.occ.Set(e.warmStart, float64(e.inflight)) })
+	for i, rq := range reqs {
+		rs := &reqState{req: rq, start: -1, done: -1}
+		e.states[i] = rs
+		at := t0 + rq.arrive
+		e.events.At(at, func() { e.arrive(rs, at) })
+	}
+
+	max := cfg.MaxCycles
+	if max <= 0 {
+		max = e.defaultMaxCycles(reqs, t0)
+	}
+	deadline := t0 + max
+	wd := mcastsim.NewWatchdog(net, mcastsim.Config{NoProgressCycles: cfg.NoProgressCycles})
+	startStats := net.Stats()
+
+	for e.runErr == nil && (e.events.Len() > 0 || net.Active() > 0) {
+		if net.Active() == 0 {
+			if next := e.events.NextTime(); next > net.Now() {
+				net.AdvanceTo(next)
+			}
+			wd.Idled()
+		}
+		e.events.RunDue(net.Now())
+		if e.runErr != nil || (net.Active() == 0 && e.events.Len() == 0) {
+			break
+		}
+		if net.Active() > 0 {
+			// Step the fabric, but never past the next engine event (an
+			// arrival, injection or deadline must fire at its exact cycle)
+			// or the safety-net check.
+			limit := deadline + 1
+			if limit <= net.Now() {
+				limit = net.Now() + 1
+			}
+			if e.events.Len() > 0 && e.events.NextTime() < limit {
+				limit = e.events.NextTime()
+			}
+			net.StepUntil(limit)
+			if cfg.Reliable {
+				e.reclaimFrozen()
+				if err := net.Err(); err != nil {
+					return Result{}, fmt.Errorf("traffic: %w; %s", err, net.DeadlockReport(8))
+				}
+			} else if err := wd.Check(); err != nil {
+				return Result{}, fmt.Errorf("traffic: %w", err)
+			}
+			if net.Now() > deadline {
+				return Result{}, fmt.Errorf("traffic: run not complete after %d cycles; %s", max, net.DeadlockReport(8))
+			}
+		}
+	}
+	if e.runErr != nil {
+		return Result{}, e.runErr
+	}
+	if err := net.Quiesced(); err != nil {
+		return Result{}, fmt.Errorf("traffic: fabric did not quiesce: %w", err)
+	}
+	for _, rs := range e.states {
+		if !rs.shed && rs.done < 0 {
+			return Result{}, fmt.Errorf("traffic: request %d admitted but never completed", rs.req.id)
+		}
+	}
+	return e.collect(t0, startStats), nil
+}
+
+// defaultMaxCycles derives the safety-net deadline: the arrival span
+// plus a generous per-request service bound (the mcastsim formula,
+// widened by the recovery worst case in Reliable mode) for every
+// request serialized end to end.
+func (e *engine) defaultMaxCycles(reqs []*request, t0 int64) int64 {
+	var maxK, maxBytes int
+	var maxSoft, maxAssign int64
+	for _, k := range e.cfg.Load.Ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	for _, b := range e.cfg.Load.Sizes {
+		if b > maxBytes {
+			maxBytes = b
+		}
+		soft := e.cfg.Software.Send.At(b) + e.cfg.Software.Recv.At(b) + e.cfg.Software.Hold.At(b)
+		if soft > maxSoft {
+			maxSoft = soft
+		}
+		tEnd := int64(e.cfg.TEnd(b))
+		assign := (tEnd*reliableSlack + (tEnd/backoffDivisor+1)<<7) * (reliableRetries + 1)
+		if assign > maxAssign {
+			maxAssign = assign
+		}
+	}
+	perMsg := int64(e.net.Config().Flits(maxBytes+e.cfg.AddrBytes*maxK)) + int64(e.net.Topology().NumChannels())
+	perReq := (perMsg+maxSoft+1024)*int64(maxK+1)*4 + 1<<12
+	if e.cfg.Reliable {
+		perReq += int64(maxK+2) * int64(maxK+2) * maxAssign
+	}
+	span := reqs[len(reqs)-1].arrive
+	return span + perReq*int64(len(reqs)+1) + 1<<20
+}
+
+// fault records the first internal error; the drive loop stops on it.
+func (e *engine) fault(err error) {
+	if e.runErr == nil {
+		e.runErr = err
+	}
+}
+
+// noteOcc records an in-service count change for the time-weighted
+// occupancy, once the measurement window is open.
+func (e *engine) noteOcc(t int64) {
+	if t >= e.warmStart && e.occ.Started() {
+		e.occ.Set(t, float64(e.inflight))
+	}
+}
+
+// arrive admits, queues or sheds one request at its arrival cycle.
+func (e *engine) arrive(rs *reqState, t int64) {
+	if e.inflight < e.cfg.Admit.MaxInFlight {
+		e.begin(rs, t)
+		return
+	}
+	if e.cfg.Admit.Policy == AdmissionBounded && len(e.queue) >= e.cfg.Admit.QueueCap {
+		rs.shed = true
+		e.shedCount++
+		return
+	}
+	e.queue = append(e.queue, rs)
+}
+
+// begin moves a request into service: the source "delivers" to itself
+// with responsibility for the whole chain, which schedules its sends.
+func (e *engine) begin(rs *reqState, t int64) {
+	rs.start = t
+	rs.delivered = make([]bool, len(rs.req.ch))
+	e.inflight++
+	e.noteOcc(t)
+	all := make([]int, len(rs.req.ch))
+	for i := range all {
+		all[i] = i
+	}
+	e.deliver(rs, rs.req.root, all, t)
+}
+
+// deliver records that chain position self of rs has the message (with
+// responsibility for live) at time t, schedules its sends, and closes
+// the request out when every position is resolved.
+func (e *engine) deliver(rs *reqState, self int, live []int, t int64) {
+	if rs.delivered[self] {
+		e.fault(fmt.Errorf("traffic: duplicate delivery to request %d chain position %d", rs.req.id, self))
+		return
+	}
+	rs.delivered[self] = true
+	rs.resolved++
+	if len(live) > 1 {
+		e.spawn(rs, self, live, t, false)
+	}
+	e.maybeComplete(rs, t)
+}
+
+// spawn plans self's sends for the live positions and issues them.
+// repair marks give-up re-plans (counted separately).
+func (e *engine) spawn(rs *reqState, self int, live []int, t int64, repair bool) {
+	sends, err := plan.RepairSends(rs.req.tab, live, self)
+	if err != nil {
+		e.fault(err)
+		return
+	}
+	for _, snd := range sends {
+		if repair {
+			e.repairSends++
+		}
+		e.issue(&xfer{rs: rs, from: self, to: snd.To, live: snd.Live}, t)
+	}
+}
+
+// issue schedules one transmission of x no earlier than notBefore,
+// serialized behind every other send of the same fabric node via the
+// shared port ledger, and — in Reliable mode — arms its delivery
+// deadline.
+func (e *engine) issue(x *xfer, notBefore int64) {
+	node := x.rs.req.ch[x.from]
+	at := notBefore
+	if nf := e.portFree[node]; nf > at {
+		at = nf
+	}
+	e.portFree[node] = at + x.rs.req.tHold
+	x.seq++
+	seq := x.seq
+	e.events.At(at+x.rs.req.tSend, func() { e.inject(x, seq) })
+	if e.cfg.Reliable {
+		e.events.At(at+x.rs.req.timeout, func() { e.expire(x, seq) })
+	}
+}
+
+// inject hands x's message to the fabric (software send cost elapsed).
+func (e *engine) inject(x *xfer, seq int) {
+	if x.done || x.seq != seq {
+		return
+	}
+	rq := x.rs.req
+	bytes := rq.bytes + e.cfg.AddrBytes*(len(x.live)-1)
+	x.worm = e.net.Send(nodeOf(rq.ch[x.from]), nodeOf(rq.ch[x.to]), bytes, x, func(_ *wormhole.Worm, now int64) {
+		x.done = true
+		x.worm = nil
+		e.events.At(now+rq.tRecv, func() { e.deliver(x.rs, x.to, x.live, now+rq.tRecv) })
+	})
+}
+
+// expire fires at x's delivery deadline (Reliable mode only).
+func (e *engine) expire(x *xfer, seq int) {
+	if x.done || x.seq != seq {
+		return
+	}
+	e.fail(x, false)
+}
+
+// reclaimFrozen cancels worms the fault layer froze (no live route) and
+// routes their assignments into the retry/give-up path immediately.
+func (e *engine) reclaimFrozen() {
+	e.unBuf = e.net.Unreachable(e.unBuf[:0])
+	for _, w := range e.unBuf {
+		x, ok := w.Tag.(*xfer)
+		if !ok {
+			e.fault(fmt.Errorf("traffic: frozen worm %d carries foreign tag %T", w.ID, w.Tag))
+			return
+		}
+		e.fail(x, true)
+	}
+}
+
+// fail handles a lost send: withdraw the worm, then retry with the
+// shared backoff schedule or give the destination up — the
+// internal/recover policy with its default budget.
+func (e *engine) fail(x *xfer, frozen bool) {
+	if x.worm != nil {
+		e.net.Cancel(x.worm)
+		e.cancelled++
+		x.worm = nil
+	}
+	x.seq++
+	now := e.net.Now()
+	give := x.attempt >= reliableRetries
+	if frozen && !e.routable(x.rs.req.ch[x.from], x.rs.req.ch[x.to]) {
+		give = true
+	}
+	if give {
+		e.giveUp(x, now)
+		return
+	}
+	x.attempt++
+	e.retransmits++
+	e.issue(x, now+recov.Backoff(x.rs.req.backoffBase, x.attempt, e.rng))
+}
+
+// giveUp abandons x's destination and re-plans the rest of its subtree
+// from the same sender (subtree re-adoption: the sender joins the
+// surviving live list in chain order and re-runs the split over it).
+func (e *engine) giveUp(x *xfer, now int64) {
+	rs := x.rs
+	rs.abandoned++
+	rs.resolved++
+	rest := make([]int, 0, len(x.live)-1)
+	for _, p := range x.live {
+		if p != x.to {
+			rest = append(rest, p)
+		}
+	}
+	if len(rest) > 0 {
+		e.spawn(rs, x.from, insertSorted(rest, x.from), now, true)
+	}
+	e.maybeComplete(rs, now)
+}
+
+// routable answers the idle-fabric oracle for a fabric-node pair, cached
+// per run.
+func (e *engine) routable(from, to int) bool {
+	idx := from*e.net.Topology().NumNodes() + to
+	if v := e.reach[idx]; v != 0 {
+		return v > 0
+	}
+	ok := recov.Routable(e.net.Topology(), e.net.Faults(), nodeOf(from), nodeOf(to))
+	if ok {
+		e.reach[idx] = 1
+	} else {
+		e.reach[idx] = -1
+	}
+	return ok
+}
+
+// maybeComplete closes a request once every chain position is delivered
+// or abandoned, frees its service slot, and starts the next queued
+// request at the same cycle.
+func (e *engine) maybeComplete(rs *reqState, t int64) {
+	if rs.resolved < len(rs.req.ch) || rs.done >= 0 {
+		return
+	}
+	rs.done = t
+	e.inflight--
+	e.noteOcc(t)
+	if len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		e.begin(next, t)
+	}
+}

@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"sort"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// request is one fully drawn multicast: everything about it is fixed
+// before the fabric starts stepping, so the workload is a pure function
+// of (Config, Seed) and never depends on execution interleaving.
+type request struct {
+	id     int
+	arrive int64
+	k      int
+	bytes  int
+	ch     chain.Chain
+	root   int
+	tab    core.SplitTable
+	// Per-size software costs and reliable-mode deadline parameters.
+	tSend, tRecv, tHold int64
+	timeout             int64 // deadline after issue: TEnd*reliableSlack
+	backoffBase         int64
+}
+
+// genRequests draws the whole workload: arrival times from the arrival
+// stream, group/message sizes and placements from the workload stream,
+// and the hot set from its own stream. Split tables are built once per
+// (k, bytes) combination.
+func genRequests(cfg Config, nodes int) []*request {
+	arr := newArrival(cfg.Arrival, sim.NewRNG(cfg.Seed^seedArrival))
+	wrng := sim.NewRNG(cfg.Seed ^ seedWorkload)
+	var hot []int
+	if cfg.Load.HotFrac > 0 {
+		hot = sim.NewRNG(cfg.Seed^seedHotSet).Sample(nodes, cfg.Load.HotNodes)
+	}
+
+	type tabKey struct{ k, bytes int }
+	tabs := make(map[tabKey]core.SplitTable)
+	reqs := make([]*request, cfg.Requests)
+	for i := range reqs {
+		at := arr.Next()
+		k := cfg.Load.Ks[wrng.Intn(len(cfg.Load.Ks))]
+		bytes := cfg.Load.Sizes[wrng.Intn(len(cfg.Load.Sizes))]
+		addrs := drawMembers(wrng, nodes, k, hot, cfg.Load.HotFrac)
+		var ch chain.Chain
+		if cfg.Less != nil {
+			ch = chain.New(addrs, cfg.Less)
+		} else {
+			ch = chain.Unordered(addrs)
+		}
+		root, _ := ch.Index(addrs[0])
+		tk := tabKey{k, bytes}
+		tab, ok := tabs[tk]
+		tEnd := cfg.TEnd(bytes)
+		if !ok {
+			tab = cfg.Plan(k, cfg.Software.Hold.At(bytes), tEnd)
+			tabs[tk] = tab
+		}
+		base := int64(tEnd) / backoffDivisor
+		if base < 1 {
+			base = 1
+		}
+		reqs[i] = &request{
+			id:          i,
+			arrive:      at,
+			k:           k,
+			bytes:       bytes,
+			ch:          ch,
+			root:        root,
+			tab:         tab,
+			tSend:       cfg.Software.Send.At(bytes),
+			tRecv:       cfg.Software.Recv.At(bytes),
+			tHold:       cfg.Software.Hold.At(bytes),
+			timeout:     int64(tEnd) * reliableSlack,
+			backoffBase: base,
+		}
+	}
+	return reqs
+}
+
+// drawMembers picks k distinct fabric nodes: the source first (uniform —
+// skew models popular destinations, not popular senders), then k-1
+// destinations, each drawn from the hot set with probability hotFrac and
+// uniformly otherwise. Duplicate draws are rejected; after a bounded
+// streak of rejections (a tiny hot set that is already fully in the
+// group) the draw falls back to a deterministic forward scan so
+// generation always terminates on the same member set for the same
+// stream.
+func drawMembers(rng *sim.RNG, nodes, k int, hot []int, hotFrac float64) []int {
+	in := make(map[int]bool, k)
+	members := make([]int, 0, k)
+	add := func(v int) {
+		in[v] = true
+		members = append(members, v)
+	}
+	add(rng.Intn(nodes))
+	for len(members) < k {
+		v := rng.Intn(nodes)
+		if len(hot) > 0 && rng.Float64() < hotFrac {
+			v = hot[rng.Intn(len(hot))]
+		}
+		for rejects := 0; in[v]; rejects++ {
+			if rejects < 64 {
+				if len(hot) > 0 && rng.Float64() < hotFrac {
+					v = hot[rng.Intn(len(hot))]
+				} else {
+					v = rng.Intn(nodes)
+				}
+				continue
+			}
+			v = (v + 1) % nodes
+		}
+		add(v)
+	}
+	return members
+}
+
+// insertSorted returns xs with v inserted in ascending order; used when
+// a give-up re-adopts the rest of a subtree under its sender (the live
+// list plan.RepairSends consumes must stay strictly ascending).
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	out := make([]int, 0, len(xs)+1)
+	out = append(out, xs[:i]...)
+	out = append(out, v)
+	out = append(out, xs[i:]...)
+	return out
+}
