@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke golden golden-check ci
+.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke scale-smoke golden golden-check ci
 
 all: build
 
@@ -99,6 +99,15 @@ shard-smoke:
 	grep -q '"complete": true' $$tmp/summary.json; \
 	echo "shard-smoke: merge bit-identical to serial run, 0 cells recomputed"
 
+# Scale-out smoke: the domain-parallel kernel's differential tests
+# (64x64-mesh three-way differential, fault plans, random partitions)
+# under the race detector, then the F4 wall-time ladder through the real
+# CLI path — which asserts serial and parallel batch results are
+# byte-identical on every fabric before printing a timing.
+scale-smoke:
+	$(GO) test -race -run 'Parallel' ./internal/wormhole/
+	$(GO) run ./cmd/mcastbench -fig f4 -trials 2 -parallel 4 > /dev/null
+
 # Golden tables: results/figures_all.txt is the committed full-trials
 # output of every figure. `golden` regenerates it (minutes);
 # `golden-check` fails if the committed tables drifted from the code.
@@ -108,4 +117,4 @@ golden:
 golden-check: golden
 	git diff --exit-code -- results
 
-ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke golden-check
+ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke scale-smoke golden-check

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bmin"
 	"repro/internal/exp"
 	"repro/internal/model"
+	"repro/internal/traffic"
 	"repro/internal/wormhole"
 )
 
@@ -350,8 +351,145 @@ func stepKernelStall(b *testing.B, k repro.Kernel) {
 func BenchmarkStepKernel(b *testing.B) {
 	b.Run("funnel/fast", func(b *testing.B) { stepKernelFunnel(b, repro.KernelFast, true) })
 	b.Run("funnel/reference", func(b *testing.B) { stepKernelFunnel(b, repro.KernelReference, false) })
+	b.Run("funnel/reference-recycled", func(b *testing.B) { stepKernelFunnel(b, repro.KernelReference, true) })
 	b.Run("stall/fast", func(b *testing.B) { stepKernelStall(b, repro.KernelFast) })
 	b.Run("stall/reference", func(b *testing.B) { stepKernelStall(b, repro.KernelReference) })
+}
+
+// stepKernelScatter drives a domain-friendly workload on a 64x64 mesh:
+// 256 sources spread over every row band exchange 1 KB with the node 32
+// rows away, so all spatial domains carry flits at once. Every route
+// has the same length (32 column hops plus inject/eject): the worm pool
+// hands objects out in completion order, which permutes the
+// worm-to-route pairing between rounds, and equal-length routes keep
+// that permutation from ever needing a larger path buffer. The network
+// (and pool) is reused across rounds; after two priming rounds both the
+// serial and the domain-parallel kernels must run allocation-free.
+func stepKernelScatter(b *testing.B, par int) {
+	m := repro.NewMesh2D(64, 64)
+	n := repro.NewNetwork(m, repro.DefaultFabricConfig())
+	n.SetRecycling(true)
+	if par > 1 {
+		n.SetParallelism(par)
+		defer n.Close()
+	}
+	round := func() {
+		for r := 0; r < 32; r += 4 {
+			for c := 0; c < 64; c += 4 {
+				top := repro.NodeID(r*64 + c)
+				bot := repro.NodeID((r+32)*64 + c)
+				n.Send(top, bot, 1024, nil, nil)
+				n.Send(bot, top, 1024, nil, nil)
+			}
+		}
+		if _, err := n.RunUntilIdle(1 << 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+	round()
+	round()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		round()
+	}
+	hops := n.Stats().FlitHops * int64(b.N) / int64(b.N+2)
+	b.ReportMetric(float64(hops)/b.Elapsed().Seconds(), "flit-hops/s")
+}
+
+// BenchmarkStepKernelParallel compares the serial fast kernel against
+// the domain-parallel kernel on the scatter workload; the bench gate
+// holds both at zero steady-state allocs/op.
+func BenchmarkStepKernelParallel(b *testing.B) {
+	b.Run("scatter/P1", func(b *testing.B) { stepKernelScatter(b, 1) })
+	b.Run("scatter/P4", func(b *testing.B) { stepKernelScatter(b, 4) })
+}
+
+// scaleMulticast measures one 64-node 4 KB OPT multicast on a large
+// fabric, serial or domain-parallel. The network is built once and
+// reused: fabric construction (millions of channels) would otherwise
+// dominate the numbers.
+func scaleMulticast(b *testing.B, n *repro.Network, less func(x, y int) bool, nodes, par int) {
+	soft := repro.DefaultSoftware()
+	runCfg := repro.RunConfig{Software: soft}
+	n.SetRecycling(true)
+	if par > 1 {
+		n.SetParallelism(par)
+		defer n.Close()
+	}
+	tend, err := repro.MeasureUnicast(n, 0, nodes-1, 4096, runCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 64
+	tab := repro.NewOptTable(k, soft.Hold.At(4096), tend)
+	addrs := make([]int, k)
+	for i := range addrs {
+		addrs[i] = i * (nodes / k)
+	}
+	ch := repro.NewChain(addrs, less)
+	root, _ := ch.Index(addrs[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.RunMulticast(n, tab, ch, root, 4096, runCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScale exercises the roadmap's large fabrics: a single OPT
+// multicast on the 1024x1024 mesh (1M nodes) and the 65536-node BMIN,
+// serial vs domain-parallel, plus an F3-style open-system traffic cell
+// on a domain-parallel mesh. These are the "interactive speed" numbers
+// recorded in BENCH_kernel.json.
+func BenchmarkScale(b *testing.B) {
+	cfg := repro.DefaultFabricConfig()
+	b.Run("mesh1024x1024/serial", func(b *testing.B) {
+		m := repro.NewMesh2D(1024, 1024)
+		scaleMulticast(b, repro.NewNetwork(m, cfg), m.DimOrderLess, m.NumNodes(), 1)
+	})
+	b.Run("mesh1024x1024/P8", func(b *testing.B) {
+		m := repro.NewMesh2D(1024, 1024)
+		scaleMulticast(b, repro.NewNetwork(m, cfg), m.DimOrderLess, m.NumNodes(), 8)
+	})
+	b.Run("bmin65536/serial", func(b *testing.B) {
+		t := bmin.New(1<<16, bmin.AscentStraight)
+		scaleMulticast(b, repro.NewNetwork(t, cfg), t.LexLess, 1<<16, 1)
+	})
+	b.Run("bmin65536/P8", func(b *testing.B) {
+		t := bmin.New(1<<16, bmin.AscentStraight)
+		scaleMulticast(b, repro.NewNetwork(t, cfg), t.LexLess, 1<<16, 8)
+	})
+	b.Run("traffic64x64/P4", func(b *testing.B) {
+		m := repro.NewMesh2D(64, 64)
+		soft := repro.DefaultSoftware()
+		runCfg := repro.RunConfig{Software: soft}
+		tend, err := repro.MeasureUnicast(repro.NewNetwork(m, cfg), 0, m.NumNodes()-1, 4096, runCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := exp.Opt("OPT")
+		for i := 0; i < b.N; i++ {
+			n := repro.NewNetwork(m, cfg)
+			n.SetRecycling(true)
+			n.SetParallelism(4)
+			_, err := traffic.Run(n, traffic.Config{
+				Software: soft,
+				Arrival:  traffic.ArrivalSpec{Kind: traffic.ArrivalPoisson, RatePerMcycle: 100},
+				Load:     traffic.Workload{Ks: []int{8, 16}, Sizes: []int{4096}},
+				Admit:    traffic.Admission{Policy: traffic.AdmissionFIFO, MaxInFlight: 4},
+				Requests: 96, Warmup: 16,
+				Less: m.DimOrderLess,
+				Plan: opt.Table,
+				TEnd: func(int) model.Time { return tend },
+				Seed: 1997,
+			})
+			n.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkPlanSends measures the planner's per-node work.

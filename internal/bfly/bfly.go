@@ -22,6 +22,7 @@ package bfly
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/wormhole"
@@ -34,12 +35,30 @@ type Butterfly struct {
 }
 
 // New constructs a butterfly with the given number of nodes (a power of
-// two, at least 2).
+// two, at least 2). It panics on an invalid node count or int32
+// ChannelID overflow; TryNew returns the error instead.
 func New(nodes int) *Butterfly {
-	if nodes < 2 || nodes&(nodes-1) != 0 {
-		panic(fmt.Sprintf("bfly: nodes %d must be a power of two >= 2", nodes))
+	b, err := TryNew(nodes)
+	if err != nil {
+		panic(err)
 	}
-	return &Butterfly{n: nodes, stages: bits.TrailingZeros(uint(nodes))}
+	return b
+}
+
+// TryNew is New returning an error instead of panicking. A butterfly
+// has (log2(N)+1)·N channels, which overflows the int32 ChannelID space
+// at 2^27 nodes — long before the NodeID space does; the count is
+// computed in int64 and checked against math.MaxInt32 before
+// construction.
+func TryNew(nodes int) (*Butterfly, error) {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("bfly: nodes %d must be a power of two >= 2", nodes)
+	}
+	stages := bits.TrailingZeros(uint(nodes))
+	if chans64 := int64(stages+1) * int64(nodes); chans64 > math.MaxInt32 {
+		return nil, fmt.Errorf("bfly: %d nodes give %d channels, overflowing the int32 ChannelID space (max %d)", nodes, chans64, math.MaxInt32)
+	}
+	return &Butterfly{n: nodes, stages: stages}, nil
 }
 
 // Stages returns the number of switch stages.

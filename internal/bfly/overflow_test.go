@@ -1,0 +1,28 @@
+package bfly
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTryNewOverflow pins the int32 ChannelID guard: a butterfly has
+// (log2(N)+1)·N channels, overflowing the channel space at 2^27 nodes;
+// 2^26 is the largest legal power of two.
+func TestTryNewOverflow(t *testing.T) {
+	if _, err := TryNew(1 << 27); err == nil || !strings.Contains(err.Error(), "ChannelID") {
+		t.Fatalf("TryNew(2^27) = %v, want ChannelID overflow error", err)
+	}
+	if _, err := TryNew(1 << 40); err == nil {
+		t.Fatal("TryNew(2^40) accepted")
+	}
+	if _, err := TryNew(100); err == nil {
+		t.Fatal("TryNew(100) accepted, want power-of-two error")
+	}
+	b, err := TryNew(1 << 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.NumChannels(); got != 27*(1<<26) {
+		t.Fatalf("NumChannels() = %d, want %d", got, 27*(1<<26))
+	}
+}

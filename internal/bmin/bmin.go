@@ -37,6 +37,7 @@ package bmin
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 
 	"repro/internal/wormhole"
@@ -81,12 +82,30 @@ type BMIN struct {
 }
 
 // New constructs a BMIN with the given number of nodes (a power of two,
-// at least 2) and ascent policy.
+// at least 2) and ascent policy. It panics on an invalid node count or
+// int32 ChannelID overflow; TryNew returns the error instead.
 func New(nodes int, policy AscentPolicy) *BMIN {
-	if nodes < 2 || nodes&(nodes-1) != 0 {
-		panic(fmt.Sprintf("bmin: nodes %d must be a power of two >= 2", nodes))
+	b, err := TryNew(nodes, policy)
+	if err != nil {
+		panic(err)
 	}
-	return &BMIN{n: nodes, stages: bits.TrailingZeros(uint(nodes)), policy: policy}
+	return b
+}
+
+// TryNew is New returning an error instead of panicking. A BMIN has
+// 2·log2(N)·N channels (an up and a down channel per link level per
+// position), so the ChannelID space overflows well before the NodeID
+// space does — at 2^26 nodes, not 2^31; the count is computed in int64
+// and checked against math.MaxInt32 before construction.
+func TryNew(nodes int, policy AscentPolicy) (*BMIN, error) {
+	if nodes < 2 || nodes&(nodes-1) != 0 {
+		return nil, fmt.Errorf("bmin: nodes %d must be a power of two >= 2", nodes)
+	}
+	stages := bits.TrailingZeros(uint(nodes))
+	if chans64 := 2 * int64(stages) * int64(nodes); chans64 > math.MaxInt32 {
+		return nil, fmt.Errorf("bmin: %d nodes give %d channels, overflowing the int32 ChannelID space (max %d)", nodes, chans64, math.MaxInt32)
+	}
+	return &BMIN{n: nodes, stages: stages, policy: policy}, nil
 }
 
 // Stages returns the number of switch stages (log2 of the node count).

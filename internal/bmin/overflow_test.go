@@ -1,0 +1,31 @@
+package bmin
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTryNewOverflow pins the int32 ChannelID guard: a BMIN has
+// 2·log2(N)·N channels, so the channel space overflows at 2^26 nodes —
+// far below the 2^31 NodeID ceiling. 2^25 nodes is the largest legal
+// power of two.
+func TestTryNewOverflow(t *testing.T) {
+	if _, err := TryNew(1<<26, AscentStraight); err == nil || !strings.Contains(err.Error(), "ChannelID") {
+		t.Fatalf("TryNew(2^26) = %v, want ChannelID overflow error", err)
+	}
+	if _, err := TryNew(1<<40, AscentStraight); err == nil {
+		t.Fatal("TryNew(2^40) accepted")
+	}
+	if _, err := TryNew(96, AscentStraight); err == nil {
+		t.Fatal("TryNew(96) accepted, want power-of-two error")
+	}
+	// The boundary fabric just below the limit constructs (the BMIN
+	// topology is implicit — no per-channel allocation happens here).
+	b, err := TryNew(1<<25, AscentStraight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.NumChannels(); got != 2*25*(1<<25) {
+		t.Fatalf("NumChannels() = %d, want %d", got, 2*25*(1<<25))
+	}
+}

@@ -23,7 +23,9 @@
 package mesh
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/wormhole"
 )
@@ -51,20 +53,49 @@ type Mesh struct {
 }
 
 // New constructs a mesh with the given side lengths (at least one
-// dimension, each side >= 1).
+// dimension, each side >= 1). It panics on invalid dimensions or when
+// the fabric would overflow the int32 NodeID/ChannelID address space;
+// TryNew returns the error instead.
 func New(dims ...int) *Mesh {
-	if len(dims) == 0 {
-		panic("mesh: need at least one dimension")
+	m, err := TryNew(dims...)
+	if err != nil {
+		panic(err)
 	}
-	n := 1
+	return m
+}
+
+// TryNew is New returning an error instead of panicking. Node and
+// channel counts are computed in int64 and validated against
+// math.MaxInt32 *before* any allocation is sized from them, so a fabric
+// request that would silently wrap the int32 NodeID/ChannelID space (or
+// attempt a wrapped-size allocation) fails fast with a descriptive
+// error.
+func TryNew(dims ...int) (*Mesh, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("mesh: need at least one dimension")
+	}
+	n64 := int64(1)
 	stride := make([]int, len(dims))
 	for d, s := range dims {
 		if s < 1 {
-			panic(fmt.Sprintf("mesh: dimension %d has side %d < 1", d, s))
+			return nil, fmt.Errorf("mesh: dimension %d has side %d < 1", d, s)
 		}
-		stride[d] = n
-		n *= s
+		stride[d] = int(n64)
+		if int64(s) > math.MaxInt32 || n64 > math.MaxInt32/int64(s) {
+			return nil, fmt.Errorf("mesh: dimensions %v give more than %d nodes, overflowing the int32 NodeID space", dims, math.MaxInt32)
+		}
+		n64 *= int64(s)
 	}
+	// Channels: one inject + one eject per node, plus the directed
+	// inter-router links — dimension d contributes 2·(n/s)·(s-1) of them.
+	chans64 := 2 * n64
+	for _, s := range dims {
+		chans64 += 2 * (n64 / int64(s)) * int64(s-1)
+	}
+	if chans64 > math.MaxInt32 {
+		return nil, fmt.Errorf("mesh: dimensions %v give %d channels, overflowing the int32 ChannelID space (max %d)", dims, chans64, math.MaxInt32)
+	}
+	n := int(n64)
 	m := &Mesh{
 		dims:   append([]int(nil), dims...),
 		n:      n,
@@ -90,7 +121,7 @@ func New(dims ...int) *Mesh {
 		}
 	}
 	m.numChans = int(next)
-	return m
+	return m, nil
 }
 
 // New2D is shorthand for New(w, h), the paper's mesh configuration.

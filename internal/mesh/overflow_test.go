@@ -1,0 +1,55 @@
+package mesh
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTryNewOverflow pins the int32 address-space guards: node and
+// channel counts are validated in int64 before any allocation is sized
+// from them, so a fabric request that used to wrap silently (or attempt
+// a multi-GB allocation) now fails fast with a descriptive error.
+func TestTryNewOverflow(t *testing.T) {
+	// 2^32 nodes: overflows the NodeID space outright.
+	if _, err := TryNew(1<<16, 1<<16); err == nil || !strings.Contains(err.Error(), "NodeID") {
+		t.Fatalf("TryNew(65536, 65536) = %v, want NodeID overflow error", err)
+	}
+	// 1.6e9 nodes fit an int32, but the ~11.2e9 channels do not.
+	if _, err := TryNew(40000, 40000); err == nil || !strings.Contains(err.Error(), "ChannelID") {
+		t.Fatalf("TryNew(40000, 40000) = %v, want ChannelID overflow error", err)
+	}
+	// Absurd single dimension: must not wrap int64 either.
+	if _, err := TryNew(1<<40, 1<<40); err == nil {
+		t.Fatal("TryNew(2^40, 2^40) accepted")
+	}
+	// Bad dimensions still produce the classic errors.
+	if _, err := TryNew(); err == nil {
+		t.Fatal("TryNew() accepted")
+	}
+	if _, err := TryNew(4, 0); err == nil {
+		t.Fatal("TryNew(4, 0) accepted")
+	}
+	// A comfortably valid fabric constructs.
+	m, err := TryNew(64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 4096 {
+		t.Fatalf("NumNodes() = %d, want 4096", m.NumNodes())
+	}
+}
+
+// TestNewPanicsOnOverflow pins that the panicking constructor reports
+// the same descriptive error.
+func TestNewPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New(65536, 65536) did not panic")
+		}
+		if err, ok := r.(error); !ok || !strings.Contains(err.Error(), "NodeID") {
+			t.Fatalf("panic value %v, want NodeID overflow error", r)
+		}
+	}()
+	New(1<<16, 1<<16)
+}

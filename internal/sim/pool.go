@@ -1,0 +1,84 @@
+package sim
+
+import "sync"
+
+// Pool is a persistent barrier-synchronized worker pool for
+// domain-parallel stepping: p-1 goroutines plus the caller each run
+// fn(d) for one fixed domain index per Run call, and Run returns only
+// after every domain finished. Unlike ForEach — which hands dynamic
+// work items to whichever worker is free — Pool pins domain d to the
+// same invocation slot every round, so callers can keep per-domain
+// state without synchronization, and a Run costs only channel
+// operations (no allocation, no goroutine churn), which matters when it
+// is called once per simulated cycle.
+//
+// Run and Close must be called from a single owning goroutine; fn runs
+// concurrently for distinct d and must only touch domain-private or
+// read-only state. Close joins the workers (waitleak's contract: the
+// pool owns its goroutines and observes their exit).
+type Pool struct {
+	fn     func(d int)
+	kick   []chan struct{} // per-worker start signal; index 0 unused
+	done   chan struct{}
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewPool starts the workers for domains 1..p-1; domain 0 runs on the
+// goroutine calling Run. p must be at least 1; a pool with p == 1 has
+// no workers and Run simply calls fn(0).
+func NewPool(p int, fn func(d int)) *Pool {
+	if p < 1 {
+		panic("sim: NewPool with p < 1")
+	}
+	l := &Pool{
+		fn:   fn,
+		kick: make([]chan struct{}, p),
+		done: make(chan struct{}, p),
+		stop: make(chan struct{}),
+	}
+	for d := 1; d < p; d++ {
+		ch := make(chan struct{}, 1)
+		l.kick[d] = ch
+		l.wg.Add(1)
+		go func(d int, ch chan struct{}) {
+			defer l.wg.Done()
+			for {
+				select {
+				case <-l.stop:
+					return
+				case <-ch:
+					l.fn(d)
+					l.done <- struct{}{}
+				}
+			}
+		}(d, ch)
+	}
+	return l
+}
+
+// Run executes fn(d) for every domain concurrently and returns when all
+// have finished (the per-cycle barrier). Allocation-free.
+//
+//lint:hotpath
+func (l *Pool) Run() {
+	for d := 1; d < len(l.kick); d++ {
+		l.kick[d] <- struct{}{}
+	}
+	l.fn(0)
+	for d := 1; d < len(l.kick); d++ {
+		<-l.done
+	}
+}
+
+// Close stops and joins the workers. Idempotent; Run must not be
+// called after Close.
+func (l *Pool) Close() {
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.stop)
+	l.wg.Wait()
+}

@@ -1,0 +1,38 @@
+package torus
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTryNewOverflow pins the int32 address-space guards: a torus has
+// 2N + 4·N·D channels, so the ChannelID space can overflow while the
+// node count is still representable; both counts are validated in int64
+// before construction.
+func TestTryNewOverflow(t *testing.T) {
+	// 2^32 nodes: overflows the NodeID space outright.
+	if _, err := TryNew(1<<16, 1<<16); err == nil || !strings.Contains(err.Error(), "NodeID") {
+		t.Fatalf("TryNew(65536, 65536) = %v, want NodeID overflow error", err)
+	}
+	// 1.6e9 nodes fit an int32; the 16e9 channels (2N + 8N) do not.
+	if _, err := TryNew(40000, 40000); err == nil || !strings.Contains(err.Error(), "ChannelID") {
+		t.Fatalf("TryNew(40000, 40000) = %v, want ChannelID overflow error", err)
+	}
+	// Absurd single dimension: must not wrap int64 either.
+	if _, err := TryNew(1<<40, 1<<40); err == nil {
+		t.Fatal("TryNew(2^40, 2^40) accepted")
+	}
+	if _, err := TryNew(); err == nil {
+		t.Fatal("TryNew() accepted")
+	}
+	if _, err := TryNew(8, 2); err == nil {
+		t.Fatal("TryNew(8, 2) accepted, want side >= 3 error")
+	}
+	tor, err := TryNew(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tor.NumNodes() != 256 {
+		t.Fatalf("NumNodes() = %d, want 256", tor.NumNodes())
+	}
+}

@@ -19,7 +19,9 @@
 package torus
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/wormhole"
 )
@@ -38,21 +40,42 @@ type Torus struct {
 
 // New constructs a torus with the given side lengths (each at least 3 so
 // the two directions use distinct links; use package mesh for smaller
-// rings, where a torus degenerates).
+// rings, where a torus degenerates). It panics on invalid dimensions or
+// int32 NodeID/ChannelID overflow; TryNew returns the error instead.
 func New(dims ...int) *Torus {
-	if len(dims) == 0 {
-		panic("torus: need at least one dimension")
+	t, err := TryNew(dims...)
+	if err != nil {
+		panic(err)
 	}
-	n := 1
+	return t
+}
+
+// TryNew is New returning an error instead of panicking. Node and
+// channel counts are computed in int64 and validated against
+// math.MaxInt32 before any channel ID can silently wrap: a torus has
+// 2N + 4·N·D channels (inject, eject, and two virtual channels per node
+// per dimension per direction).
+func TryNew(dims ...int) (*Torus, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("torus: need at least one dimension")
+	}
+	n64 := int64(1)
 	stride := make([]int, len(dims))
 	for d, s := range dims {
 		if s < 3 {
-			panic(fmt.Sprintf("torus: dimension %d has side %d < 3", d, s))
+			return nil, fmt.Errorf("torus: dimension %d has side %d < 3", d, s)
 		}
-		stride[d] = n
-		n *= s
+		stride[d] = int(n64)
+		if int64(s) > math.MaxInt32 || n64 > math.MaxInt32/int64(s) {
+			return nil, fmt.Errorf("torus: dimensions %v give more than %d nodes, overflowing the int32 NodeID space", dims, math.MaxInt32)
+		}
+		n64 *= int64(s)
 	}
-	return &Torus{dims: append([]int(nil), dims...), n: n, stride: stride}
+	chans64 := 2*n64 + 4*n64*int64(len(dims))
+	if chans64 > math.MaxInt32 {
+		return nil, fmt.Errorf("torus: dimensions %v give %d channels, overflowing the int32 ChannelID space (max %d)", dims, chans64, math.MaxInt32)
+	}
+	return &Torus{dims: append([]int(nil), dims...), n: int(n64), stride: stride}, nil
 }
 
 // New2D is shorthand for New(w, h).

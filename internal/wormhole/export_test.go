@@ -2,5 +2,45 @@ package wormhole
 
 // ForceOwner fabricates (or, with nil, clears) channel ownership so tests
 // can exercise the Quiesced leaked-channel error path, which is
-// unreachable through the public API of a correct kernel.
-func (n *Network) ForceOwner(c ChannelID, w *Worm) { n.owner[c] = w }
+// unreachable through the public API of a correct kernel. The ghost worm
+// is given a slot of its own so the slot-indexed owner table stays
+// coherent.
+func (n *Network) ForceOwner(c ChannelID, w *Worm) {
+	if w == nil {
+		if s := n.owner[c]; s >= 0 {
+			n.freeSlot(s)
+		}
+		n.owner[c] = -1
+		return
+	}
+	w.slot = n.takeSlot(w)
+	n.owner[c] = w.slot
+}
+
+// SetDomainsForTest overrides the contiguous node partition installed by
+// SetParallelism(p) with an arbitrary node-to-domain map, so property
+// tests can check that results are independent of the partition, not
+// just of the domain count. dom must have one entry per node, each in
+// [0, p); the fabric must be idle.
+func (n *Network) SetDomainsForTest(dom []int32) {
+	if len(n.worms) != 0 {
+		panic("wormhole: SetDomainsForTest with active worms")
+	}
+	if n.par <= 1 {
+		panic("wormhole: SetDomainsForTest without SetParallelism")
+	}
+	if len(dom) != n.topo.NumNodes() {
+		panic("wormhole: SetDomainsForTest with wrong map length")
+	}
+	for _, d := range dom {
+		if d < 0 || int(d) >= n.par {
+			panic("wormhole: SetDomainsForTest domain out of range")
+		}
+	}
+	copy(n.domOf, dom)
+}
+
+// DeadlockWaitersBuf exposes the cached DeadlockReport histogram so the
+// reuse regression test can assert two successive reports share one
+// backing array.
+func (n *Network) DeadlockWaitersBuf() []int32 { return n.dlWaiters }

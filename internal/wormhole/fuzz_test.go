@@ -44,8 +44,10 @@ func decodeSends(data []byte, nodes int) []timedSend {
 // FuzzWormholeKernel checks, for every fuzz-derived workload on a 4×4
 // mesh: RunUntilIdle terminates, the fabric quiesces with every channel
 // released, flit conservation holds (injected == consumed == the closed
-// form flits×(hops+1) summed over worms), and the fast kernel's full
-// observable outcome equals the reference kernel's.
+// form flits×(hops+1) summed over worms), the fast kernel's full
+// observable outcome equals the reference kernel's, and the
+// domain-parallel kernel at P ∈ {1,2,4,8} — including a fuzz-derived
+// random node partition — matches byte for byte.
 func FuzzWormholeKernel(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 5, 8, 0, 1, 5, 8, 0, 2, 5, 8, 0, 3, 5, 8, 0})
@@ -91,6 +93,31 @@ func FuzzWormholeKernel(f *testing.F) {
 		}
 		if !reflect.DeepEqual(got, want) {
 			diffSnapshots(t, got, want)
+		}
+
+		// Parallel legs: every P must reproduce the serial outcome
+		// (events excluded — parallel runs are observer-free). P=1 pins
+		// that a trivial pool degenerates to the serial kernel; higher P
+		// additionally installs a partition derived from the fuzz input
+		// so the merge order is tested against arbitrary domain maps.
+		wantQuiet := want
+		wantQuiet.Events = nil
+		for _, P := range []int{1, 2, 4, 8} {
+			par := New(topo, cfg)
+			par.SetParallelism(P)
+			if P > 1 && len(data) > 0 {
+				dom := make([]int32, topo.NumNodes())
+				for u := range dom {
+					dom[u] = int32(int(data[u%len(data)]) % P)
+				}
+				par.SetDomainsForTest(dom)
+			}
+			gotPar := runWorkloadQuiet(t, par, sends)
+			par.Close()
+			if !reflect.DeepEqual(gotPar, wantQuiet) {
+				t.Errorf("parallel P=%d diverges from serial:", P)
+				diffSnapshots(t, gotPar, wantQuiet)
+			}
 		}
 	})
 }

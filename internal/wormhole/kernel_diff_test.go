@@ -1,10 +1,11 @@
 package wormhole_test
 
-// Differential harness for the two scheduling kernels: random seeded
-// workloads on all four fabric families run through both KernelFast and
-// KernelReference, asserting bit-identical statistics, per-worm timings
-// and observer event streams. This is the proof obligation that lets the
-// stall-aware kernel skip cycles at all.
+// Differential harness for the scheduling kernels: random seeded
+// workloads on all four fabric families run through KernelFast,
+// KernelReference and the domain-parallel kernel, asserting bit-identical
+// statistics, per-worm timings and observer event streams. This is the
+// proof obligation that lets the stall-aware kernel skip cycles and the
+// parallel kernel step domains concurrently at all.
 
 import (
 	"fmt"
@@ -128,6 +129,43 @@ func runWorkload(t *testing.T, n *Network, sends []timedSend) runSnapshot {
 	return snap
 }
 
+// runWorkloadQuiet is runWorkload without the event-log observer, for
+// networks stepping the domain-parallel kernel: an attached Observer
+// forces the (observably equivalent) serial fallback, so parallel legs
+// of the differential must run observer-free and compare eventless
+// snapshots.
+func runWorkloadQuiet(t *testing.T, n *Network, sends []timedSend) runSnapshot {
+	t.Helper()
+	var snap runSnapshot
+	record := func(w *Worm, now int64) {
+		snap.Worms = append(snap.Worms, wormRecord{
+			ID: w.ID, Src: w.Src, Dst: w.Dst,
+			Bytes: w.Bytes, Flits: w.Flits(), PathLen: len(w.Path()),
+			InjectedAt: w.InjectedAt, ArrivedAt: w.ArrivedAt,
+			Blocked: w.BlockedCycles, InjectWait: w.InjectWaitCycles,
+		})
+	}
+	for _, s := range sends {
+		for n.Now() < s.at {
+			if n.Active() == 0 {
+				n.AdvanceTo(s.at)
+				break
+			}
+			n.StepUntil(s.at)
+		}
+		n.Send(s.src, s.dst, s.bytes, nil, record)
+	}
+	if _, err := n.RunUntilIdle(1 << 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Quiesced(); err != nil {
+		t.Fatal(err)
+	}
+	snap.Stats = n.Stats()
+	snap.Now = n.Now()
+	return snap
+}
+
 // diffSnapshots fails the test with a focused report of the first
 // divergence instead of dumping two multi-thousand-line structs.
 func diffSnapshots(t *testing.T, got, want runSnapshot) {
@@ -180,11 +218,16 @@ func diffPlatforms() []struct {
 }
 
 // TestKernelDifferential runs 8 seeded random workloads per fabric family
-// (32 in total) through both kernels and requires bit-identical outcomes.
+// (32 in total) through all three kernels — reference, fast, and
+// domain-parallel at P ∈ {2,4,8} — and requires bit-identical outcomes.
 // Odd seeds use a deliberately stall-heavy config (long RouterDelay,
 // single-flit buffers) to force deep cycle-skipping; even seeds also turn
 // worm recycling on for the fast kernel, proving pooling is behaviour-
-// neutral against a non-recycling reference.
+// neutral against a non-recycling reference. The parallel legs run
+// observer-free (an Observer forces the serial fallback) and compare
+// eventless snapshots against the reference outcome; on the torus the
+// shared-link LinkGrouper makes them exercise the documented fallback
+// rather than concurrent stepping, which must be equivalent too.
 func TestKernelDifferential(t *testing.T) {
 	for _, p := range diffPlatforms() {
 		for seed := int64(0); seed < 8; seed++ {
@@ -206,6 +249,20 @@ func TestKernelDifferential(t *testing.T) {
 				got := runWorkload(t, fast, sends)
 
 				diffSnapshots(t, got, want)
+
+				wantQuiet := want
+				wantQuiet.Events = nil
+				for _, P := range []int{2, 4, 8} {
+					par := New(p.topo, cfg)
+					par.SetRecycling(seed%2 == 0)
+					par.SetParallelism(P)
+					gotPar := runWorkloadQuiet(t, par, sends)
+					par.Close()
+					if !reflect.DeepEqual(gotPar, wantQuiet) {
+						t.Errorf("parallel P=%d diverges from reference:", P)
+						diffSnapshots(t, gotPar, wantQuiet)
+					}
+				}
 			})
 		}
 	}

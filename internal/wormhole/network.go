@@ -3,6 +3,8 @@ package wormhole
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // Config holds the fabric parameters. The zero value is not valid; use
@@ -128,14 +130,20 @@ type Worm struct {
 	onArrive      ArrivalFunc
 	createdAt     int64
 
-	// Fast-kernel scheduling state. asleep means no flit of this worm
-	// can move for buffer-occupancy reasons; since occupancy is local to
-	// the worm, the flag stays valid until the worm acquires a channel.
+	// Fast-kernel scheduling state. The asleep flag itself lives in
+	// Network.asleep, a flat slice indexed by slot, so the per-cycle scan
+	// touches one byte per worm instead of a whole Worm struct (and the
+	// domain-parallel kernel can write it from worker goroutines: distinct
+	// slots are distinct memory locations). slot is the worm's index in
+	// the network's slot table for as long as it is in flight; idx is its
+	// current position in the active list (creation order), which the
+	// parallel kernel uses to reconstruct the serial completion order.
 	// waitState caches the header's outcome (blocked on an owned
 	// channel, or waiting for the injection port) and is valid while
 	// waitEpoch matches the network's ownership epoch — i.e. until any
 	// acquire or release anywhere could have changed the answer.
-	asleep    bool
+	slot      int32
+	idx       int32
 	waitState uint8
 	waitEpoch int64
 	blockCand ChannelID
@@ -199,9 +207,22 @@ type Network struct {
 	cfg  Config
 	now  int64
 
-	owner  []*Worm // per channel; nil = free
+	// Channel occupancy as a flat slice indexed by ChannelID: the slot
+	// index of the owning worm, or -1 when free. Slots — not pointers —
+	// keep the hot arrays pointer-free and give the parallel kernel
+	// stable worm identities across the per-cycle compaction of worms.
+	owner  []int32
 	inject []ChannelID
 	eject  []ChannelID
+
+	// Slot table: slots[w.slot] == w for every in-flight worm; freeSlots
+	// holds recycled indices (cap always >= len(slots), so reap can push
+	// by index). asleep[s] != 0 means slot s's worm provably cannot move
+	// a flit this epoch; one byte per slot rather than a bitset so
+	// concurrent domains never write the same word.
+	slots     []*Worm
+	freeSlots []int32
+	asleep    []uint8
 
 	worms     []*Worm // active, in creation order
 	completed []*Worm // filled during a Step, drained at its end
@@ -209,6 +230,19 @@ type Network struct {
 	routeBuf  []ChannelID
 	stats     Stats
 	obs       Observer
+
+	// Deterministic domain-parallel stepping (see parallel.go); par <= 1
+	// means serial.
+	par     int
+	domOf   []int32   // node -> domain index
+	domList [][]int32 // per-domain active worm slots, in creation order
+	domAcc  []domainAcc
+	pool    *sim.Pool
+
+	// dlWaiters is DeadlockReport's per-channel waiting-header histogram,
+	// cached across invocations (at 1M+ channels a fresh make per
+	// watchdog fire is a multi-MB allocation) and cleared lazily.
+	dlWaiters []int32
 
 	// Virtual-channel support (nil lg = every channel has its own link).
 	lg        LinkGrouper
@@ -242,9 +276,13 @@ func New(topo Topology, cfg Config) *Network {
 	n := &Network{
 		topo:   topo,
 		cfg:    cfg,
-		owner:  make([]*Worm, topo.NumChannels()),
+		owner:  make([]int32, topo.NumChannels()),
 		inject: make([]ChannelID, topo.NumNodes()),
 		eject:  make([]ChannelID, topo.NumNodes()),
+		par:    1,
+	}
+	for i := range n.owner {
+		n.owner[i] = -1
 	}
 	for i := 0; i < topo.NumNodes(); i++ {
 		n.inject[i] = topo.InjectChannel(NodeID(i))
@@ -287,23 +325,30 @@ func (n *Network) chanUp(c ChannelID) bool {
 // routeCands returns the live candidate channels for w's header, in
 // preference order, reusing n.routeBuf as scratch. On a faulted fabric it
 // delegates to the topology's FaultRouter when implemented, else filters
-// dead channels out of the oblivious route.
+// dead channels out of the oblivious route. The (possibly regrown)
+// backing array is saved back to n.routeBuf here, so every caller —
+// including diagnostics like DeadlockReport — retains the grown capacity
+// instead of re-allocating on its next route; the returned slice is only
+// valid until the next routeCands call.
 func (n *Network) routeCands(w *Worm) []ChannelID {
 	last := w.path[len(w.path)-1]
+	var cands []ChannelID
 	if n.frouter != nil {
-		return n.frouter.RouteDegraded(last, w.Src, w.Dst, n.deadFn, n.routeBuf[:0])
-	}
-	cands := n.topo.Route(last, w.Src, w.Dst, n.routeBuf[:0])
-	if n.faults == nil {
-		return cands
-	}
-	live := cands[:0]
-	for _, c := range cands {
-		if !n.faults.Dead(c) {
-			live = append(live, c)
+		cands = n.frouter.RouteDegraded(last, w.Src, w.Dst, n.deadFn, n.routeBuf[:0])
+	} else {
+		cands = n.topo.Route(last, w.Src, w.Dst, n.routeBuf[:0])
+		if n.faults != nil {
+			live := cands[:0]
+			for _, c := range cands {
+				if !n.faults.Dead(c) {
+					live = append(live, c)
+				}
+			}
+			cands = live
 		}
 	}
-	return live
+	n.routeBuf = cands
+	return cands
 }
 
 // markUnreachable freezes a worm whose destination cannot be reached
@@ -449,9 +494,50 @@ func (n *Network) Send(src, dst NodeID, bytes int, tag any, onArrive ArrivalFunc
 	w.onArrive = onArrive
 	w.createdAt = n.now
 	n.nextID++
+	w.slot = n.takeSlot(w)
+	w.idx = int32(len(n.worms))
 	n.worms = append(n.worms, w)
+	if n.par > 1 {
+		d := n.domOf[w.Src]
+		n.domList[d] = append(n.domList[d], w.slot)
+	}
 	n.reserve()
 	return w
+}
+
+// takeSlot assigns w a slot in the flat worm-state arrays, growing them
+// (and freeSlots' reserve capacity, so reap can push freed slots by
+// index) on a cold miss. Steady state pops the free list and allocates
+// nothing.
+func (n *Network) takeSlot(w *Worm) int32 {
+	if k := len(n.freeSlots) - 1; k >= 0 {
+		s := n.freeSlots[k]
+		n.freeSlots = n.freeSlots[:k]
+		n.slots[s] = w
+		n.asleep[s] = 0
+		return s
+	}
+	s := int32(len(n.slots))
+	n.slots = append(n.slots, w)
+	n.asleep = append(n.asleep, 0)
+	if cap(n.freeSlots) < len(n.slots) {
+		grown := make([]int32, len(n.freeSlots), 2*len(n.slots))
+		copy(grown, n.freeSlots)
+		n.freeSlots = grown
+	}
+	return s
+}
+
+// freeSlot returns a drained worm's slot to the free list. Indexed push:
+// takeSlot keeps cap(freeSlots) >= len(slots), and a slot is freed at
+// most once per assignment.
+//
+//lint:hotpath
+func (n *Network) freeSlot(s int32) {
+	n.slots[s] = nil
+	k := len(n.freeSlots)
+	n.freeSlots = n.freeSlots[:k+1]
+	n.freeSlots[k] = s
 }
 
 // reserve grows the completed and free lists, outside the hot regions,
@@ -467,6 +553,16 @@ func (n *Network) reserve() {
 		grown := make([]*Worm, len(n.completed), 2*len(n.worms))
 		copy(grown, n.completed)
 		n.completed = grown
+	}
+	// Per-domain completion buffers: every worm of a domain may complete
+	// within one parallel phase A, and len(worms) bounds any domain's
+	// population. The buffers are drained every step, so growth never
+	// needs to copy elements.
+	for d := range n.domAcc {
+		if cap(n.domAcc[d].completed) < len(n.worms) {
+			grown := make([]int32, 0, 2*len(n.worms))
+			n.domAcc[d].completed = append(grown, n.domAcc[d].completed...)
+		}
 	}
 	if !n.recycle {
 		return
@@ -506,12 +602,26 @@ func (n *Network) Cancel(w *Worm) {
 		panic(fmt.Sprintf("wormhole: Cancel of worm %d not in flight", w.ID))
 	}
 	for i := range w.path {
-		if n.owner[w.path[i]] == w {
+		if n.owner[w.path[i]] == w.slot {
 			n.release(w, i)
 		}
 	}
 	wasFrozen := w.waitState == waitUnreachable
 	n.worms = append(n.worms[:at], n.worms[at+1:]...)
+	for j := at; j < len(n.worms); j++ {
+		n.worms[j].idx = int32(j)
+	}
+	if n.par > 1 {
+		d := n.domOf[w.Src]
+		list := n.domList[d]
+		for i, s := range list {
+			if s == w.slot {
+				n.domList[d] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+	}
+	n.freeSlot(w.slot)
 	// Ownership and the active set changed; cached verdicts are stale.
 	n.epoch++
 	n.progress = true
@@ -557,6 +667,15 @@ func (n *Network) Unreachable(buf []*Worm) []*Worm {
 func (n *Network) Step() {
 	if n.kernel == KernelReference {
 		n.stepReference()
+		return
+	}
+	// The domain-parallel kernel is bit-identical to stepFast but cannot
+	// replay the serial per-event order an observer expects, and shared
+	// physical links (virtual channels) couple worms across domains; both
+	// cases fall back to the serial fast kernel, which is equivalent by
+	// the differential suite.
+	if n.par > 1 && n.obs == nil && n.lg == nil {
+		n.stepParallel()
 		return
 	}
 	n.stepFast()
@@ -687,7 +806,7 @@ func (n *Network) stepFast() {
 		n.rotation++
 		for i := 0; i < k; i++ {
 			w := n.worms[(start+i)%k]
-			if w.asleep {
+			if n.asleep[w.slot] != 0 {
 				continue
 			}
 			n.moveFlitsFast(w)
@@ -780,8 +899,10 @@ func (n *Network) moveFlitsFast(w *Worm) {
 	}
 	if moved {
 		n.progress = true
-	} else {
-		w.asleep = !linkBusy
+	} else if !linkBusy {
+		// The worm is only scanned while awake, so the flag can never be
+		// set on entry; a busy link leaves it awake for a retry next cycle.
+		n.asleep[w.slot] = 1
 	}
 }
 
@@ -810,7 +931,7 @@ func (n *Network) routeHeaderFast(w *Worm) {
 			n.markUnreachable(w, c)
 			return
 		}
-		if n.owner[c] == nil {
+		if n.owner[c] < 0 {
 			n.acquire(w, c)
 		} else {
 			w.InjectWaitCycles++
@@ -831,9 +952,8 @@ func (n *Network) routeHeaderFast(w *Worm) {
 		return
 	}
 	cands := n.routeCands(w)
-	n.routeBuf = cands[:0]
 	for _, c := range cands {
-		if n.owner[c] == nil {
+		if n.owner[c] < 0 {
 			n.acquire(w, c)
 			return
 		}
@@ -941,7 +1061,7 @@ func (n *Network) routeHeader(w *Worm) {
 			n.markUnreachable(w, c)
 			return
 		}
-		if n.owner[c] == nil {
+		if n.owner[c] < 0 {
 			n.acquire(w, c)
 		} else {
 			w.InjectWaitCycles++
@@ -953,9 +1073,8 @@ func (n *Network) routeHeader(w *Worm) {
 		return // header flit not yet at the frontier, or still routing
 	}
 	cands := n.routeCands(w)
-	n.routeBuf = cands[:0]
 	for _, c := range cands {
-		if n.owner[c] == nil {
+		if n.owner[c] < 0 {
 			n.acquire(w, c)
 			return
 		}
@@ -983,9 +1102,9 @@ func (n *Network) routeHeader(w *Worm) {
 // holder resolve to the earliest candidate in preference order, keeping
 // the report deterministic.
 func (n *Network) blame(cands []ChannelID) (ChannelID, *Worm) {
-	c, h := cands[0], n.owner[cands[0]]
+	c, h := cands[0], n.slots[n.owner[cands[0]]]
 	for _, cc := range cands[1:] {
-		if o := n.owner[cc]; o.ID < h.ID {
+		if o := n.slots[n.owner[cc]]; o.ID < h.ID {
 			c, h = cc, o
 		}
 	}
@@ -1001,7 +1120,7 @@ func (n *Network) noRouteBug(w *Worm, last int) {
 }
 
 func (n *Network) acquire(w *Worm, c ChannelID) {
-	n.owner[c] = w
+	n.owner[c] = w.slot
 	w.path = append(w.path, c)
 	w.passed = append(w.passed, 0)
 	if c == n.eject[w.Dst] {
@@ -1011,7 +1130,7 @@ func (n *Network) acquire(w *Worm, c ChannelID) {
 	// worm has a new channel its header can move into.
 	n.epoch++
 	n.progress = true
-	w.asleep = false
+	n.asleep[w.slot] = 0
 	w.waitState = waitNone
 	if n.obs != nil {
 		n.obs.Acquire(n.now, w, c)
@@ -1020,14 +1139,20 @@ func (n *Network) acquire(w *Worm, c ChannelID) {
 
 func (n *Network) release(w *Worm, i int) {
 	c := w.path[i]
-	if n.owner[c] != w {
-		panic(fmt.Sprintf("wormhole: releasing channel %s not owned by worm %d", n.topo.DescribeChannel(c), w.ID))
+	if n.owner[c] != w.slot {
+		n.badRelease(w, c)
 	}
-	n.owner[c] = nil
+	n.owner[c] = -1
 	n.epoch++
 	if n.obs != nil {
 		n.obs.Release(n.now, w, c)
 	}
+}
+
+// badRelease reports a release of a channel the worm does not own — a
+// kernel bug. Outlined so the hot release paths carry no fmt call.
+func (n *Network) badRelease(w *Worm, c ChannelID) {
+	panic(fmt.Sprintf("wormhole: releasing channel %s not owned by worm %d", n.topo.DescribeChannel(c), w.ID))
 }
 
 // reap removes completed worms, preserving creation order of the rest,
@@ -1045,16 +1170,32 @@ func (n *Network) reap() {
 	for _, w := range n.worms {
 		if !w.done {
 			n.worms[k] = w
+			w.idx = int32(k)
 			k++
 		}
 	}
 	clear(n.worms[k:])
 	n.worms = n.worms[:k]
+	// Drop completed worms from the per-domain scan lists before their
+	// slots are freed below (a freed slot may be reissued by a Send from
+	// an arrival callback mid-drain).
+	for d := range n.domList {
+		list := n.domList[d]
+		j := 0
+		for _, s := range list {
+			if !n.slots[s].done {
+				list[j] = s
+				j++
+			}
+		}
+		n.domList[d] = list[:j]
+	}
 	// n.completed stays populated while callbacks run: an arrival
 	// callback may Send, and Send's free-list reservation counts the
 	// drained-but-unpooled worms still listed here.
 	for di := 0; di < len(n.completed); di++ {
 		w := n.completed[di]
+		n.freeSlot(w.slot)
 		n.stats.Worms++
 		n.stats.BlockedCycles += w.BlockedCycles
 		n.stats.InjectWaitCycles += w.InjectWaitCycles
@@ -1113,7 +1254,15 @@ func (n *Network) RunUntilIdle(maxCycles int64) (int64, error) {
 func (n *Network) DeadlockReport(max int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d worms in flight at cycle %d", len(n.worms), n.now)
-	waiters := make([]int32, n.topo.NumChannels())
+	// The per-channel waiting-header histogram is cached on the Network
+	// and cleared lazily: at 1M+ channels a fresh allocation per watchdog
+	// fire would turn a diagnostic into a multi-MB allocation.
+	if len(n.dlWaiters) < n.topo.NumChannels() {
+		n.dlWaiters = make([]int32, n.topo.NumChannels())
+	} else {
+		clear(n.dlWaiters)
+	}
+	waiters := n.dlWaiters
 	type entry struct {
 		text string
 		more int // additional worms collapsed into this line
@@ -1144,9 +1293,9 @@ func (n *Network) DeadlockReport(max int) string {
 			line(unique, 0, "worm %d (%d->%d): unreachable, frozen holding %d channels", w.ID, w.Src, w.Dst, len(w.path))
 		case len(w.path) == 0:
 			c := n.inject[w.Src]
-			if h := n.owner[c]; h != nil {
+			if h := n.owner[c]; h >= 0 {
 				waiters[c]++
-				line(kindInject, c, "worm %d (%d->%d): waiting to inject; %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c), h.ID)
+				line(kindInject, c, "worm %d (%d->%d): waiting to inject; %s held by worm %d", w.ID, w.Src, w.Dst, n.topo.DescribeChannel(c), n.slots[h].ID)
 			} else {
 				line(unique, 0, "worm %d (%d->%d): not yet injected", w.ID, w.Src, w.Dst)
 			}
@@ -1167,7 +1316,7 @@ func (n *Network) DeadlockReport(max int) string {
 			}
 			free := ChannelID(-1)
 			for _, c := range cands {
-				if n.owner[c] != nil {
+				if n.owner[c] >= 0 {
 					waiters[c]++
 				} else if free < 0 {
 					free = c
@@ -1214,9 +1363,9 @@ func (n *Network) Quiesced() error {
 	if len(n.worms) != 0 {
 		return fmt.Errorf("wormhole: %d worms still active", len(n.worms))
 	}
-	for c, w := range n.owner {
-		if w != nil {
-			return fmt.Errorf("wormhole: channel %s still owned by worm %d", n.topo.DescribeChannel(ChannelID(c)), w.ID)
+	for c, s := range n.owner {
+		if s >= 0 {
+			return fmt.Errorf("wormhole: channel %s still owned by worm %d", n.topo.DescribeChannel(ChannelID(c)), n.slots[s].ID)
 		}
 	}
 	return nil
