@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke scale-smoke golden golden-check ci
+.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke churn-smoke shard-smoke scale-smoke golden golden-check ci
 
 all: build
 
@@ -16,9 +16,10 @@ test:
 # Race-detect the concurrency-bearing packages (the deterministic
 # fan-out harness, the concurrent multicast simulator, the fault plans
 # shared read-only across sweep workers, the recovery layer the sweeps
-# fan out over, and the open-system traffic engine).
+# fan out over, the open-system traffic engine, and the membership
+# engine driving churn schedules through sweep workers).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/mcastsim/... ./internal/fault/... ./internal/recover/... ./internal/traffic/...
+	$(GO) test -race ./internal/sim/... ./internal/mcastsim/... ./internal/fault/... ./internal/recover/... ./internal/traffic/... ./internal/member/...
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +84,23 @@ recover-smoke:
 traffic-smoke:
 	$(GO) run ./cmd/mcastbench -fig f3
 
+# Churn smoke: the membership engine under the race detector (churn
+# chaos battery included), then the F5 churn tables split across two
+# shard runs, merged from cache alone — asserting the merge recomputed
+# nothing and printed the same bytes as a serial run.
+churn-smoke:
+	$(GO) test -race ./internal/member/
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/mcastbench ./cmd/mcastbench; \
+	$$tmp/mcastbench -fig f5 -trials 2 > $$tmp/serial.txt; \
+	$$tmp/mcastbench -fig f5 -trials 2 -shard 0/2 -cache $$tmp/cache > /dev/null; \
+	$$tmp/mcastbench -fig f5 -trials 2 -shard 1/2 -cache $$tmp/cache > /dev/null; \
+	$$tmp/mcastbench -fig f5 -trials 2 -cache $$tmp/cache -resume -summary $$tmp/summary.json > $$tmp/merged.txt; \
+	cmp $$tmp/serial.txt $$tmp/merged.txt; \
+	grep -q '"computed": 0' $$tmp/summary.json; \
+	grep -q '"complete": true' $$tmp/summary.json; \
+	echo "churn-smoke: F5 merge bit-identical to serial run, 0 cells recomputed"
+
 # Sharded-engine smoke: split a figure across two shard runs sharing a
 # cache, merge from cache alone, and assert the merge recomputed
 # nothing and printed the same bytes as a serial run. This is the
@@ -117,4 +135,4 @@ golden:
 golden-check: golden
 	git diff --exit-code -- results
 
-ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke shard-smoke scale-smoke golden-check
+ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke churn-smoke shard-smoke scale-smoke golden-check

@@ -20,7 +20,7 @@
 //
 //	mcastbench -fig f4 -parallel 4 -trials 2
 //
-// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, all.
+// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, f5, all.
 package main
 
 import (
@@ -56,7 +56,7 @@ type options struct {
 
 func main() {
 	var o options
-	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, all")
+	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, f5, all")
 	flag.IntVar(&o.trials, "trials", 16, "random placements per data point (the paper uses 16)")
 	flag.Uint64Var(&o.seed, "seed", 1997, "PRNG seed")
 	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -242,6 +242,23 @@ func run(o options) error {
 			}
 			return nil
 		},
+		"f5": func() error {
+			// Dynamic membership: the reliable multicast under seeded
+			// join/leave/crash/rejoin churn, comparing full re-planning,
+			// incremental graft/excise repair and the binomial fallback.
+			// Rates are hot enough that churn overlaps the delivery wave,
+			// where the repair policies actually diverge.
+			f5, err := exp.ChurnSweep(meshSuite(), bminSuite(), 32, 4096, []int{100, 200, 400, 800, 1600}, o.seed)
+			if err != nil {
+				return err
+			}
+			for _, t := range []*exp.Table{f5.Latency, f5.Delivered, f5.Repair} {
+				if err := emit(t, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
 		"f4": func() error {
 			// Scalability: the same 32-node multicast on ever larger
 			// fabrics. The latency table is deterministic (part of the
@@ -269,7 +286,7 @@ func run(o options) error {
 	}
 
 	runFigs := func() error {
-		order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2", "f3", "f4"}
+		order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2", "f3", "f4", "f5"}
 		if o.fig == "all" {
 			for _, name := range order {
 				fmt.Printf("==== %s ====\n", name)

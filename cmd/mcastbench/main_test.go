@@ -167,3 +167,29 @@ func TestParseShard(t *testing.T) {
 		t.Fatalf("parseShard(\"\") = %d, %d, %v", i, n, err)
 	}
 }
+
+// TestRunFigureF5: the churn figure prints all three policy tables and
+// is reproducible run to run.
+func TestRunFigureF5(t *testing.T) {
+	f := func() string {
+		out, err := capture(t, func() error { return run(options{fig: "f5", trials: 2, seed: 3, workers: 1}) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := f()
+	for _, want := range []string{
+		"F5a: completion latency under churn",
+		"F5b: delivered fraction under churn",
+		"F5c: repair sends under churn",
+		"incremental (mesh)", "binomial (BMIN)", "reachable (mesh)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in f5 output:\n%s", want, out)
+		}
+	}
+	if out != f() {
+		t.Fatal("same seed produced different f5 tables")
+	}
+}

@@ -10,6 +10,8 @@
 //	netsim -topo mesh -algo opt -faults 5 -recover -v
 //	netsim -topo mesh -traffic -rate 400 -arrival bursty -admission bounded
 //	netsim -topo bmin -traffic -rate 800 -skew 0.5 -v
+//	netsim -topo mesh -churn -churn-rate 800 -rejoin 0.5 -repair incr
+//	netsim -topo bmin -churn -churn-rate 1600 -degree-cap 3 -v
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/mcastsim"
+	"repro/internal/member"
 	"repro/internal/mesh"
 	"repro/internal/model"
 	recov "repro/internal/recover"
@@ -62,6 +65,11 @@ func main() {
 		arr      = flag.String("arrival", "poisson", "traffic: arrival process, poisson or bursty")
 		adm      = flag.String("admission", "fifo", "traffic: admission policy, fifo (unbounded queue) or bounded (overflow is shed)")
 		skew     = flag.Float64("skew", 0, "traffic: fraction of destination draws aimed at a seeded hot set (0 = uniform)")
+		churn    = flag.Bool("churn", false, "run the multicast under a seeded membership churn schedule (joins, leaves, crashes, rejoins)")
+		churnR   = flag.Float64("churn-rate", 400, "churn: membership events per million cycles")
+		rejoin   = flag.Float64("rejoin", 0.5, "churn: fraction of crashed members that rejoin after the outage window")
+		repair   = flag.String("repair", "incr", "churn: repair policy, full (re-plan), incr (graft/excise), binom (binomial over survivors)")
+		degCap   = flag.Int("degree-cap", 0, "churn: per-node fan-out cap for degree-bounded trees (0 = one-port split table)")
 	)
 	flag.Parse()
 
@@ -73,6 +81,8 @@ func main() {
 		faultSeed: *fseed, deadline: *deadline, recover: *rec,
 		cacheDir: *cacheDir,
 		traffic:  *tra, rate: *rate, arrival: *arr, admission: *adm, skew: *skew,
+		churn: *churn, churnRate: *churnR, rejoinFrac: *rejoin,
+		repairPolicy: *repair, degreeCap: *degCap,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
@@ -100,6 +110,12 @@ type options struct {
 	rate               float64 // offered requests per Mcycle
 	arrival, admission string  // traffic process and queueing policy
 	skew               float64 // hot-spot fraction of destination draws
+
+	churn        bool    // multicast under a membership churn schedule
+	churnRate    float64 // membership events per Mcycle
+	rejoinFrac   float64 // fraction of crashes that rejoin
+	repairPolicy string  // full, incr, binom
+	degreeCap    int     // per-node fan-out cap (0 = split table)
 }
 
 func run(o options) error {
@@ -196,8 +212,14 @@ func run(o options) error {
 	}
 	thold := soft.Hold.At(bytes)
 
+	if o.traffic && o.churn {
+		return fmt.Errorf("-traffic and -churn are different drive loops; pick one")
+	}
 	if o.traffic {
 		return runTraffic(o, topoName, platform, topo, less, n, plan, soft, thold, tend, cfg)
+	}
+	if o.churn {
+		return runChurn(o, topoName, platform, topo, less, n, soft, thold, tend, cfg)
 	}
 
 	var ch chain.Chain
@@ -536,6 +558,288 @@ func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 	return nil
 }
 
+// Fixed shape of a CLI churn run, matching the F5 figure's scenario:
+// the schedule horizon, the crash outage window, and the joiner-pool
+// divisor (pool = max(2, k/churnPoolDiv) extra addresses that may join).
+const (
+	churnHorizon    = 65536
+	churnDownCycles = 4096
+	churnPoolDiv    = 4
+)
+
+// runChurn drives the membership engine: a reliable multicast of the
+// k-member group while a seeded churn schedule fires joins, leaves,
+// crashes and rejoins, with crash windows compiled into the fault plan
+// next to any requested channel faults.
+func runChurn(o options, topoName, platform string, topo wormhole.Topology,
+	less func(a, b int) bool, n int,
+	soft model.Software, thold, tend model.Time, cfg wormhole.Config) error {
+	var pol recov.RepairPolicy
+	switch o.repairPolicy {
+	case "full":
+		pol = recov.RepairFull
+	case "incr":
+		pol = recov.RepairIncremental
+	case "binom":
+		pol = recov.RepairBinomial
+	default:
+		return fmt.Errorf("unknown repair policy %q (want full, incr or binom)", o.repairPolicy)
+	}
+	if o.churnRate < 0 {
+		return fmt.Errorf("-churn-rate=%g must be >= 0 events/Mcycle", o.churnRate)
+	}
+	if o.rejoinFrac < 0 || o.rejoinFrac > 1 {
+		return fmt.Errorf("-rejoin=%g outside [0,1]", o.rejoinFrac)
+	}
+	if o.degreeCap < 0 {
+		return fmt.Errorf("-degree-cap=%d must be >= 0", o.degreeCap)
+	}
+	pool := o.k / churnPoolDiv
+	if pool < 2 {
+		pool = 2
+	}
+	if o.k+pool > n {
+		return fmt.Errorf("k=%d plus a %d-node joiner pool exceeds fabric size %d", o.k, pool, n)
+	}
+	addrs := sim.NewRNG(o.seed).Sample(n, o.k+pool)
+	members, joiners := addrs[:o.k], addrs[o.k:]
+	sched, err := member.GenSchedule(member.ChurnSpec{
+		RatePerMcycle: o.churnRate,
+		Horizon:       churnHorizon,
+		RejoinFrac:    o.rejoinFrac,
+		DownCycles:    churnDownCycles,
+		Seed:          o.faultSeed,
+	}, members, joiners)
+	if err != nil {
+		return err
+	}
+	plan, err := fault.NewPlan(topo, fault.Spec{
+		DeadFrac:     o.faults / 100,
+		DegradedFrac: o.degraded / 100,
+		FlakyFrac:    o.flaky / 100,
+		NodeOutages:  sched.Outages,
+		Seed:         o.faultSeed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var ch chain.Chain
+	switch o.algo {
+	case "opt", "binomial", "sequential":
+		ch = chain.New(addrs, less)
+	case "opt-tree":
+		ch = chain.Unordered(addrs)
+	default:
+		return fmt.Errorf("unknown algorithm %q", o.algo)
+	}
+	var tab core.SplitTable
+	switch o.algo {
+	case "opt", "opt-tree":
+		tab = core.NewOptTable(len(ch), thold, tend)
+	case "binomial":
+		tab = core.BinomialTable{Max: len(ch)}
+	case "sequential":
+		tab = core.SequentialTable{Max: len(ch)}
+	}
+
+	var cache *runner.Cache
+	if o.cacheDir != "" {
+		if o.gantt || o.heatmap {
+			fmt.Fprintln(os.Stderr, "netsim: -trace/-heatmap need a live run; ignoring -cache")
+		} else {
+			cache, err = runner.OpenCache(o.cacheDir)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	key := runner.Key{
+		Mode: "netsim-churn", Platform: platform, Algo: o.algo, Soft: softwareKey(soft),
+		K: o.k, Bytes: o.bytes, Seed: o.seed, AddrBytes: o.addrB, THold: thold, TEnd: tend,
+		FaultSeed: o.faultSeed,
+		Extra: fmt.Sprintf("rate=%g,rejoin=%g,repair=%s,cap=%d,pool=%d,horizon=%d,down=%d,dead=%g,degraded=%g,flaky=%g,deadline=%d",
+			o.churnRate, o.rejoinFrac, o.repairPolicy, o.degreeCap, pool,
+			churnHorizon, churnDownCycles, o.faults, o.degraded, o.flaky, o.deadline),
+	}
+
+	crashes := len(sched.Outages)
+	fmt.Printf("fabric: %s (%d nodes)   algorithm: %s   k=%d (+%d joiner pool)   message=%d bytes\n",
+		topoName, n, o.algo, o.k, pool, o.bytes)
+	fmt.Printf("faults: %s\n", plan)
+	fmt.Printf("measured parameters: t_hold=%d  t_end=%d  (ratio %.3f)\n",
+		thold, tend, float64(thold)/float64(tend))
+	fmt.Printf("churn:               %g events/Mcycle over %d cycles: %d events (%d crashes), rejoin %.0f%%\n",
+		o.churnRate, int64(churnHorizon), len(sched.Events), crashes, o.rejoinFrac*100)
+	if o.degreeCap > 0 {
+		fmt.Printf("trees:               degree-bounded, fan-out cap %d\n", o.degreeCap)
+	}
+
+	var res member.Result
+	hit := false
+	if cache != nil {
+		if cr, ok := cache.Load(key); ok {
+			res, hit = memberFromCache(cr), true
+			fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
+		}
+	}
+	if !hit {
+		net := wormhole.New(topo, cfg)
+		net.SetFaults(plan)
+		usage := trace.NewChannelUsage(topo)
+		timeline := trace.NewTimeline()
+		if o.gantt {
+			net.SetObserver(trace.Multi{usage, timeline})
+		}
+		mainCfg := mcastsim.Config{Software: soft, AddrBytes: o.addrB, MaxCycles: o.deadline}
+		res, err = member.Run(net, tab, ch, sched, o.bytes, member.Config{
+			Sim:       mainCfg,
+			TEnd:      tend,
+			Repair:    pol,
+			DegreeCap: o.degreeCap,
+			Seed:      o.seed,
+		})
+		if err != nil {
+			return err
+		}
+		if cache != nil {
+			if err := cache.Store(key, memberToCache(res)); err != nil {
+				return err
+			}
+		}
+		if o.gantt {
+			defer func() {
+				fmt.Println("\nmessage timeline ('!' marks blocked messages):")
+				fmt.Print(timeline.Gantt(64))
+				fmt.Println("\nhottest channels:")
+				fmt.Print(usage.Report(10))
+			}()
+		}
+	}
+
+	oracleN := 0
+	for i, ok := range res.Oracle {
+		if ok && res.Member[i] {
+			oracleN++
+		}
+	}
+	oh := res.Overhead
+	fmt.Printf("completion latency:  %d cycles (last delivery to a surviving member)\n", res.Latency)
+	fmt.Printf("delivered:           %d/%d surviving members (oracle ceiling %d reachable)\n",
+		res.Delivered, res.Delivered+res.Undelivered, oracleN-1)
+	fmt.Printf("membership:          %d left, %d crashed for good\n", res.Left, res.Dead)
+	fmt.Printf("messages sent:       %d (retransmits %d, repair sends %d, orphan sends %d, grafts %d, cancelled %d)\n",
+		oh.Sends, oh.Retransmits, oh.RepairSends, oh.OrphanSends, res.Grafts, oh.Cancelled)
+	fmt.Printf("give-ups (repairs):  %d\n", oh.Repairs)
+	if res.FallbackAt >= 0 {
+		fmt.Printf("policy:              %s, degraded to binomial over survivors at cycle %d\n", o.repairPolicy, res.FallbackAt)
+	} else {
+		fmt.Printf("policy:              %s throughout (no binomial degradation)\n", o.repairPolicy)
+	}
+	if o.verbose {
+		printChurnDeliveries(ch, res)
+	}
+	return nil
+}
+
+// printChurnDeliveries lists every chain position with its membership
+// state and delivery time at quiesce.
+func printChurnDeliveries(ch chain.Chain, res member.Result) {
+	fmt.Println("\npositions (node: cycle state):")
+	for i, node := range ch {
+		state := "member"
+		switch {
+		case !res.Alive[i]:
+			state = "crashed"
+		case !res.Member[i]:
+			state = "left"
+		}
+		if res.Deliveries[i] < 0 {
+			fmt.Printf("  %4d: -       %s\n", node, state)
+		} else {
+			fmt.Printf("  %4d: %-7d %s\n", node, res.Deliveries[i], state)
+		}
+	}
+}
+
+// memberToCache/memberFromCache round-trip a churn report through the
+// cell cache: integer metrics widen to float64 exactly, and the
+// per-position membership flags travel as 0/1 series.
+func memberToCache(res member.Result) runner.Result {
+	k := len(res.Deliveries)
+	memb, alive, oracle := make([]int64, k), make([]int64, k), make([]int64, k)
+	for i := 0; i < k; i++ {
+		if res.Member[i] {
+			memb[i] = 1
+		}
+		if res.Alive[i] {
+			alive[i] = 1
+		}
+		if res.Oracle[i] {
+			oracle[i] = 1
+		}
+	}
+	oh := res.Overhead
+	return runner.Result{
+		Metrics: map[string]float64{
+			"latency":      float64(res.Latency),
+			"delivered":    float64(res.Delivered),
+			"undelivered":  float64(res.Undelivered),
+			"left":         float64(res.Left),
+			"dead":         float64(res.Dead),
+			"grafts":       float64(res.Grafts),
+			"events":       float64(res.Events),
+			"fallback_at":  float64(res.FallbackAt),
+			"worms":        float64(res.Worms),
+			"sends":        float64(oh.Sends),
+			"retransmits":  float64(oh.Retransmits),
+			"cancelled":    float64(oh.Cancelled),
+			"repair_sends": float64(oh.RepairSends),
+			"orphan_sends": float64(oh.OrphanSends),
+			"repairs":      float64(oh.Repairs),
+		},
+		Series: map[string][]int64{
+			"deliveries": res.Deliveries,
+			"member":     memb,
+			"alive":      alive,
+			"oracle":     oracle,
+		},
+	}
+}
+
+func memberFromCache(r runner.Result) member.Result {
+	k := len(r.Series["deliveries"])
+	memb, alive, oracle := make([]bool, k), make([]bool, k), make([]bool, k)
+	for i := 0; i < k; i++ {
+		memb[i] = r.Series["member"][i] != 0
+		alive[i] = r.Series["alive"][i] != 0
+		oracle[i] = r.Series["oracle"][i] != 0
+	}
+	return member.Result{
+		Latency:     int64(r.Metric("latency")),
+		Deliveries:  r.Series["deliveries"],
+		Member:      memb,
+		Alive:       alive,
+		Oracle:      oracle,
+		Delivered:   int(r.Metric("delivered")),
+		Undelivered: int(r.Metric("undelivered")),
+		Left:        int(r.Metric("left")),
+		Dead:        int(r.Metric("dead")),
+		Overhead: mcastsim.Overhead{
+			Sends:       int64(r.Metric("sends")),
+			Retransmits: int64(r.Metric("retransmits")),
+			Cancelled:   int64(r.Metric("cancelled")),
+			RepairSends: int64(r.Metric("repair_sends")),
+			OrphanSends: int64(r.Metric("orphan_sends")),
+			Repairs:     int64(r.Metric("repairs")),
+		},
+		Grafts:     int64(r.Metric("grafts")),
+		Events:     int(r.Metric("events")),
+		FallbackAt: int64(r.Metric("fallback_at")),
+		Worms:      int64(r.Metric("worms")),
+	}
+}
+
 // trafficToCache/trafficFromCache round-trip the summary-relevant part
 // of a traffic report through the cell cache: the full Metrics block
 // plus per-request service times for -v. Integer fields widen to
@@ -670,8 +974,12 @@ func mcastFromCache(r runner.Result) mcastsim.Result {
 // report, carrying the per-position statuses as an int64 series.
 func recoverToCache(res recov.Result) runner.Result {
 	status := make([]int64, len(res.Status))
+	adopted := make([]int64, len(res.AdoptedBy))
 	for i, s := range res.Status {
 		status[i] = int64(s)
+	}
+	for i, a := range res.AdoptedBy {
+		adopted[i] = int64(a)
 	}
 	oh := res.Overhead
 	return runner.Result{
@@ -691,7 +999,7 @@ func recoverToCache(res recov.Result) runner.Result {
 			"orphan_sends": float64(oh.OrphanSends),
 			"repairs":      float64(oh.Repairs),
 		},
-		Series: map[string][]int64{"deliveries": res.Deliveries, "status": status},
+		Series: map[string][]int64{"deliveries": res.Deliveries, "status": status, "adopted_by": adopted},
 	}
 }
 
@@ -700,10 +1008,15 @@ func recoverFromCache(r runner.Result) recov.Result {
 	for i, s := range r.Series["status"] {
 		status[i] = mcastsim.DestStatus(s)
 	}
+	adopted := make([]int, len(r.Series["adopted_by"]))
+	for i, a := range r.Series["adopted_by"] {
+		adopted[i] = int(a)
+	}
 	return recov.Result{
 		Latency:    int64(r.Metric("latency")),
 		Deliveries: r.Series["deliveries"],
 		Status:     status,
+		AdoptedBy:  adopted,
 		Delivered:  int(r.Metric("delivered")),
 		Abandoned:  int(r.Metric("abandoned")),
 		Overhead: mcastsim.Overhead{

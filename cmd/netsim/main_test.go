@@ -400,3 +400,143 @@ func TestCacheKeySeparatesRuns(t *testing.T) {
 		t.Fatal("different seeds produced identical output through the cache")
 	}
 }
+
+func churnBase() options {
+	o := base()
+	o.churn, o.churnRate, o.rejoinFrac = true, 400, 0.5
+	o.repairPolicy = "incr"
+	return o
+}
+
+// TestChurnSummary: the churn mode prints the membership report under
+// every repair policy and is reproducible run to run.
+func TestChurnSummary(t *testing.T) {
+	for _, pol := range []string{"full", "incr", "binom"} {
+		o := churnBase()
+		o.repairPolicy = pol
+		out, err := capture(t, func() error { return run(o) })
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		for _, want := range []string{
+			"churn:", "delivered:", "membership:", "grafts",
+			"give-ups (repairs):", "policy:",
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("%s: missing %q in churn summary:\n%s", pol, want, out)
+			}
+		}
+		again, err := capture(t, func() error { return run(o) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != out {
+			t.Fatalf("%s: churn run not reproducible:\n--- first\n%s\n--- second\n%s", pol, out, again)
+		}
+	}
+}
+
+// TestChurnDegreeCap: the degree-bounded planner is selectable and
+// announced in the report.
+func TestChurnDegreeCap(t *testing.T) {
+	o := churnBase()
+	o.degreeCap = 3
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fan-out cap 3") {
+		t.Fatalf("degree-bounded run missing the cap report:\n%s", out)
+	}
+}
+
+// TestChurnVerbosePositions: -v lists every position with its
+// membership state at quiesce.
+func TestChurnVerbosePositions(t *testing.T) {
+	o := churnBase()
+	o.verbose = true
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "positions (node: cycle state):") || !strings.Contains(out, "member") {
+		t.Fatalf("verbose churn output missing positions:\n%s", out)
+	}
+}
+
+// TestChurnWithChannelFaults: channel fault flags compose with the
+// churn schedule in one fault plan.
+func TestChurnWithChannelFaults(t *testing.T) {
+	o := churnBase()
+	o.faults, o.faultSeed = 3, 2
+	out, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dead") || !strings.Contains(out, "node outages") {
+		t.Fatalf("churn+faults run missing the combined plan summary:\n%s", out)
+	}
+}
+
+// TestChurnCacheRoundTrip: a cached churn rerun prints the same stdout
+// as the live run, -v positions included.
+func TestChurnCacheRoundTrip(t *testing.T) {
+	o := churnBase()
+	o.verbose = true
+	o.cacheDir = t.TempDir()
+	live, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != live {
+		t.Fatalf("cached churn rerun differs:\nlive:\n%s\ncached:\n%s", live, cached)
+	}
+}
+
+// TestChurnCacheKeySeparatesPolicies: the repair policy is part of the
+// cache identity; changing it must miss, not replay.
+func TestChurnCacheKeySeparatesPolicies(t *testing.T) {
+	o := churnBase()
+	o.cacheDir = t.TempDir()
+	o.churnRate = 3200 // hot enough that the policies actually diverge
+	first, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.repairPolicy = "binom"
+	second, err := capture(t, func() error { return run(o) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == second {
+		t.Fatal("different repair policies produced identical output through the cache")
+	}
+}
+
+// TestChurnValidation: malformed churn flags fail with actionable
+// errors instead of running.
+func TestChurnValidation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		mut  func(*options)
+		want string
+	}{
+		"bad policy":     {func(o *options) { o.repairPolicy = "magic" }, "unknown repair policy"},
+		"negative rate":  {func(o *options) { o.churnRate = -1 }, "churn-rate"},
+		"rejoin over 1":  {func(o *options) { o.rejoinFrac = 1.5 }, "-rejoin"},
+		"negative cap":   {func(o *options) { o.degreeCap = -2 }, "degree-cap"},
+		"bad algo":       {func(o *options) { o.algo = "magic" }, "unknown algorithm"},
+		"pool overflows": {func(o *options) { o.k = 64 }, "joiner pool exceeds fabric"},
+		"with traffic":   {func(o *options) { o.traffic = true; o.rate = 400; o.arrival, o.admission = "poisson", "fifo" }, "pick one"},
+	} {
+		o := churnBase()
+		tc.mut(&o)
+		_, err := capture(t, func() error { return run(o) })
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", name, err, tc.want)
+		}
+	}
+}

@@ -84,6 +84,15 @@ type Spec struct {
 	FlakyDown   int64
 	// Seed selects which channels fail and each channel's phase offset.
 	Seed uint64
+	// NodeOutages schedules node-level faults: each entry takes that
+	// node's injection and ejection channels down atomically for the
+	// half-open cycle window [From, To) (To == Forever for a permanent
+	// crash). Outages are scheduled, not drawn, so they are independent
+	// of Seed; see window.go for semantics and validation rules.
+	NodeOutages []NodeOutage
+	// Windows schedules explicit outage windows on individual channels,
+	// in addition to (and validated against) any outage-derived windows.
+	Windows []ChannelWindow
 }
 
 func (s Spec) withDefaults() Spec {
@@ -131,6 +140,14 @@ type Plan struct {
 	phase    []int64 // per-channel offset desynchronizing duty cycles
 	eligible int     // fabric-internal channel count
 	counts   [4]int  // channels per class
+
+	// Scheduled outage windows (node outages + explicit channel
+	// windows), compiled by buildWindows. winStart is a per-channel
+	// cumulative index into wins (NumChannels+1 entries); nil when the
+	// spec schedules none, keeping the hot Up path a single nil check.
+	winStart []int32
+	wins     []window
+	outages  []NodeOutage
 }
 
 // NewPlan draws a fault plan over the topology's fabric-internal
@@ -183,6 +200,9 @@ func NewPlan(topo wormhole.Topology, spec Spec) (*Plan, error) {
 	for _, cl := range p.class {
 		p.counts[cl]++
 	}
+	if err := p.buildWindows(topo); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -204,6 +224,9 @@ func (p *Plan) Dead(c wormhole.ChannelID) bool { return p.class[c] == Dead }
 // in Period; flaky channels outside their outage window. Phases are
 // per-channel so faulted channels do not pulse in lockstep.
 func (p *Plan) Up(c wormhole.ChannelID, now int64) bool {
+	if p.winStart != nil && p.windowedDown(c, now) {
+		return false
+	}
 	switch p.class[c] {
 	case Degraded:
 		return (now+p.phase[c])%p.spec.Period == 0
@@ -231,7 +254,11 @@ func (p *Plan) Eligible() int { return p.eligible }
 
 // String summarizes the plan for logs and table notes.
 func (p *Plan) String() string {
-	return fmt.Sprintf("fault plan seed=%d: %d dead, %d degraded(1/%d), %d flaky(%d/%d) of %d fabric channels",
+	s := fmt.Sprintf("fault plan seed=%d: %d dead, %d degraded(1/%d), %d flaky(%d/%d) of %d fabric channels",
 		p.spec.Seed, p.counts[Dead], p.counts[Degraded], p.spec.Period,
 		p.counts[Flaky], p.spec.FlakyDown, p.spec.FlakyPeriod, p.eligible)
+	if len(p.outages) > 0 || len(p.spec.Windows) > 0 {
+		s += fmt.Sprintf(", %d node outages, %d channel windows", len(p.outages), len(p.spec.Windows))
+	}
+	return s
 }

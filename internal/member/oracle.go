@@ -1,0 +1,41 @@
+package member
+
+import (
+	"repro/internal/chain"
+	recov "repro/internal/recover"
+	"repro/internal/wormhole"
+)
+
+// ReachableAmong computes the membership-and-fault-reachable oracle:
+// the closure of idle-fabric routability (recover.Routable) restricted
+// to the chain positions with in[pos] set — the members subscribed and
+// alive at quiesce — starting from the source at chain index root. A
+// position outside the membership is never reachable and never relays:
+// delivered non-members hold the payload but owe nobody anything, so
+// the closure must not route through them. This is the set the churn
+// engine's delivered positions are asserted against: delivered is
+// always a subset, and equal under pure node churn once the fabric
+// settles.
+func ReachableAmong(topo wormhole.Topology, fm wormhole.FaultModel, ch chain.Chain, root int, in []bool) []bool {
+	out := make([]bool, len(ch))
+	if root < 0 || root >= len(ch) || !in[root] {
+		return out
+	}
+	out[root] = true
+	queue := make([]int, 0, len(ch))
+	queue = append(queue, root)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range ch {
+			if out[v] || !in[v] {
+				continue
+			}
+			if recov.Routable(topo, fm, wormhole.NodeID(ch[u]), wormhole.NodeID(ch[v])) {
+				out[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package plan
+
+import "fmt"
+
+// Degree-bounded multicast trees.
+//
+// The paper's OPT split assumes the strict one-port model: a node's
+// fan-out is bounded only by how many rounds it keeps transmitting, so
+// the split ratio J(i) is free to hand one sender an arbitrarily long
+// run of children. Overlay deployments cap per-node fan-out instead —
+// Andreica et al.'s bounded-degree distribution trees — and that cap is
+// not expressible as a SplitTable: J(i) >= ceil(i/2) is required for
+// the mid-segment responsible node to stay inside its own left part,
+// while a degree bound needs splits far from the midpoint on large
+// segments. DegreeSends is therefore its own planner, sharing the
+// RepairSend shape so the recovery layer and scenario drivers consume
+// both tree variants through one code path.
+
+// DegreeSends plans the transmissions of a degree-bounded multicast
+// tree: the responsible node at chain position self sends to at most
+// cap children, partitioning the other live positions (strictly
+// ascending, self included) into at most cap contiguous runs of
+// near-equal size. Each RepairSend's To is the member of its run
+// nearest self by chain-position distance (ties to the lower
+// position), and that child recursively applies DegreeSends to its
+// run, so the cap holds at every node of the tree. Sends are ordered
+// largest run first (ties leftmost), mirroring the OPT planner's
+// far-half-first discipline so deep subtrees start earliest.
+//
+// Striking members from an architecture-ordered chain preserves the
+// order, so runs of live positions inherit the contention-freedom
+// ordering argument that RepairSends relies on.
+func DegreeSends(live []int, self, cap int) ([]RepairSend, error) {
+	if cap < 1 {
+		return nil, fmt.Errorf("plan: degree cap %d < 1", cap)
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("plan: degree-bounded plan with no members")
+	}
+	selfIdx := -1
+	for i, p := range live {
+		if i > 0 && live[i-1] >= p {
+			return nil, fmt.Errorf("plan: member positions not strictly ascending at index %d (%d after %d)", i, p, live[i-1])
+		}
+		if p == self {
+			selfIdx = i
+		}
+	}
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("plan: responsible position %d not among members %v", self, live)
+	}
+	// others: live positions minus self, order preserved.
+	others := make([]int, 0, len(live)-1)
+	others = append(others, live[:selfIdx]...)
+	others = append(others, live[selfIdx+1:]...)
+	n := len(others)
+	if n == 0 {
+		return []RepairSend{}, nil
+	}
+	c := cap
+	if n < c {
+		c = n
+	}
+	// c contiguous runs; the first n%c runs take the extra member, so
+	// run sizes differ by at most one and the partition is exact.
+	big, rem := n/c, n%c
+	type run struct{ l, r int } // inclusive index range into others
+	runs := make([]run, c)
+	at := 0
+	for i := 0; i < c; i++ {
+		size := big
+		if i < rem {
+			size++
+		}
+		runs[i] = run{l: at, r: at + size - 1}
+		at += size
+	}
+	// Largest run first, ties leftmost. rem big runs precede the small
+	// ones already, so a stable ordering is just: big runs in index
+	// order, then small runs in index order — which is the slice order
+	// when rem == 0 or the natural order otherwise. Sizes only take two
+	// values, so a single stable partition suffices.
+	ordered := make([]run, 0, c)
+	for _, rn := range runs {
+		if rn.r-rn.l+1 == big+1 {
+			ordered = append(ordered, rn)
+		}
+	}
+	for _, rn := range runs {
+		if rn.r-rn.l+1 == big {
+			ordered = append(ordered, rn)
+		}
+	}
+	out := make([]RepairSend, 0, c)
+	for _, rn := range ordered {
+		if rn.r < rn.l {
+			continue // big == 0 run (n < c cannot happen, but guard)
+		}
+		// Child = member of the run nearest self by chain-position
+		// distance, ties to the lower position. Positions in a run are
+		// ascending, so the nearest is at one of the ends or the
+		// crossing point; scan — runs are short.
+		to := others[rn.l]
+		best := absDist(to, self)
+		for i := rn.l + 1; i <= rn.r; i++ {
+			if d := absDist(others[i], self); d < best {
+				to, best = others[i], d
+			}
+		}
+		part := make([]int, rn.r-rn.l+1)
+		copy(part, others[rn.l:rn.r+1])
+		out = append(out, RepairSend{To: to, Live: part})
+	}
+	return out, nil
+}
+
+func absDist(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

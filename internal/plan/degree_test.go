@@ -1,0 +1,213 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// expandDegree recursively applies DegreeSends the way the runtime
+// does — each child re-plans over its own run — and returns the
+// per-position parent map plus each node's realized fan-out.
+func expandDegree(t *testing.T, live []int, self, cap int) (parent map[int]int, fanout map[int]int) {
+	t.Helper()
+	parent = map[int]int{self: -1}
+	fanout = map[int]int{}
+	var rec func(live []int, self int)
+	rec = func(live []int, self int) {
+		sends, err := DegreeSends(live, self, cap)
+		if err != nil {
+			t.Fatalf("DegreeSends(%v, %d, %d): %v", live, self, cap, err)
+		}
+		fanout[self] = len(sends)
+		for _, s := range sends {
+			if _, dup := parent[s.To]; dup {
+				t.Fatalf("position %d received twice", s.To)
+			}
+			parent[s.To] = self
+			rec(s.Live, s.To)
+		}
+	}
+	rec(live, self)
+	return parent, fanout
+}
+
+func TestDegreeSendsCoversExactlyOnce(t *testing.T) {
+	live := []int{0, 1, 2, 3, 5, 8, 9, 12, 13, 14, 17, 20}
+	for _, cap := range []int{1, 2, 3, 4, 11, 100} {
+		for _, self := range []int{0, 8, 20} {
+			parent, fanout := expandDegree(t, live, self, cap)
+			if len(parent) != len(live) {
+				t.Fatalf("cap %d self %d: %d positions delivered, want %d", cap, self, len(parent), len(live))
+			}
+			for _, p := range live {
+				if _, ok := parent[p]; !ok {
+					t.Fatalf("cap %d self %d: position %d never delivered", cap, self, p)
+				}
+			}
+			for n, f := range fanout {
+				if f > cap {
+					t.Fatalf("cap %d self %d: node %d fan-out %d exceeds cap", cap, self, n, f)
+				}
+			}
+		}
+	}
+}
+
+func TestDegreeSendsShape(t *testing.T) {
+	// 9 others, cap 4 -> 4 runs of sizes 3,2,2,2, largest first.
+	live := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	sends, err := DegreeSends(live, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	total := 0
+	for _, s := range sends {
+		sizes = append(sizes, len(s.Live))
+		total += len(s.Live)
+		// To is the run member nearest self=0, i.e. the run's lowest
+		// position since all others exceed self.
+		if s.To != s.Live[0] {
+			t.Errorf("run %v: To %d, want nearest-to-0 member %d", s.Live, s.To, s.Live[0])
+		}
+	}
+	if !reflect.DeepEqual(sizes, []int{3, 2, 2, 2}) {
+		t.Errorf("run sizes %v, want [3 2 2 2] (largest first)", sizes)
+	}
+	if total != 9 {
+		t.Errorf("runs cover %d positions, want 9", total)
+	}
+
+	// Mid-chain self: the run straddling nothing (others are split
+	// around the excised self), nearest-by-distance with ties low.
+	sends, err = DegreeSends([]int{0, 1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// others = [0 1 3 4] -> runs [0 1], [3 4]; nearest to 2: 1 (dist 1) and 3 (dist 1).
+	want := []RepairSend{{To: 1, Live: []int{0, 1}}, {To: 3, Live: []int{3, 4}}}
+	if !reflect.DeepEqual(sends, want) {
+		t.Errorf("sends %v, want %v", sends, want)
+	}
+}
+
+func TestDegreeSendsCapOne(t *testing.T) {
+	// cap 1 degenerates to a chain: every node forwards to one child.
+	live := []int{2, 4, 6, 8, 10}
+	_, fanout := expandDegree(t, live, 6, 1)
+	for n, f := range fanout {
+		if f > 1 {
+			t.Fatalf("cap 1: node %d fan-out %d", n, f)
+		}
+	}
+}
+
+func TestDegreeSendsDeterministic(t *testing.T) {
+	live := []int{1, 4, 6, 7, 9, 11, 15, 18}
+	a, err := DegreeSends(live, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DegreeSends(live, 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical inputs produced different plans")
+	}
+}
+
+func TestDegreeSendsErrors(t *testing.T) {
+	for name, tc := range map[string]struct {
+		live      []int
+		self, cap int
+	}{
+		"cap zero":      {[]int{0, 1}, 0, 0},
+		"empty":         {nil, 0, 2},
+		"not ascending": {[]int{0, 2, 1}, 0, 2},
+		"duplicate":     {[]int{0, 1, 1}, 0, 2},
+		"self missing":  {[]int{0, 1, 2}, 5, 2},
+	} {
+		if _, err := DegreeSends(tc.live, tc.self, tc.cap); err == nil {
+			t.Errorf("%s: invalid input accepted", name)
+		}
+	}
+	// A singleton member set is a valid no-op plan.
+	sends, err := DegreeSends([]int{3}, 3, 2)
+	if err != nil || len(sends) != 0 {
+		t.Errorf("singleton: sends %v err %v, want empty plan", sends, err)
+	}
+}
+
+// FuzzDegreeSends drives random member sets, selves, and caps through
+// the full recursive expansion, asserting the structural invariants:
+// exact partition, To inside its own run, fan-out within cap, every
+// member delivered exactly once.
+func FuzzDegreeSends(f *testing.F) {
+	f.Add(uint64(1), 8, 2)
+	f.Add(uint64(7), 33, 1)
+	f.Add(uint64(1997), 64, 5)
+	f.Fuzz(func(t *testing.T, seed uint64, n, cap int) {
+		if n < 1 || n > 256 || cap < 1 || cap > 64 {
+			t.Skip()
+		}
+		// Deterministic pseudo-random strictly ascending positions.
+		s := seed
+		next := func() uint64 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return s
+		}
+		live := make([]int, n)
+		pos := 0
+		for i := range live {
+			pos += 1 + int(next()%3)
+			live[i] = pos
+		}
+		self := live[int(next()%uint64(n))]
+		parent := map[int]int{self: -1}
+		fanout := map[int]int{}
+		var rec func(live []int, self int)
+		rec = func(live []int, self int) {
+			sends, err := DegreeSends(live, self, cap)
+			if err != nil {
+				t.Fatalf("valid input rejected: DegreeSends(%v, %d, %d): %v", live, self, cap, err)
+			}
+			if len(sends) > cap {
+				t.Fatalf("%d sends exceed cap %d", len(sends), cap)
+			}
+			fanout[self] = len(sends)
+			covered := 0
+			for _, snd := range sends {
+				covered += len(snd.Live)
+				inRun := false
+				for _, p := range snd.Live {
+					if p == snd.To {
+						inRun = true
+					}
+					if _, dup := parent[p]; dup && p == snd.To {
+						t.Fatalf("position %d planned twice", p)
+					}
+				}
+				if !inRun {
+					t.Fatalf("To %d outside its run %v", snd.To, snd.Live)
+				}
+				parent[snd.To] = self
+				rec(snd.Live, snd.To)
+			}
+			if covered != len(live)-1 {
+				t.Fatalf("runs cover %d of %d non-self positions", covered, len(live)-1)
+			}
+		}
+		rec(live, self)
+		if len(parent) != n {
+			t.Fatalf("%d of %d members delivered", len(parent), n)
+		}
+		for node, fo := range fanout {
+			if fo > cap {
+				t.Fatalf("node %d fan-out %d exceeds cap %d", node, fo, cap)
+			}
+		}
+	})
+}

@@ -15,6 +15,17 @@ import (
 // quiet fabric the simulator takes exactly this walk, so a send that
 // Routable rejects can never complete no matter how often it is retried.
 func Routable(topo wormhole.Topology, fm wormhole.FaultModel, src, dst wormhole.NodeID) bool {
+	return HopDistance(topo, fm, src, dst) >= 0
+}
+
+// HopDistance returns the channel-hop length of the deterministic
+// first-candidate router walk from src to dst under the fault model
+// (the exact walk Routable takes and an uncontended worm follows), or
+// -1 when the walk cannot reach dst. It is the distance metric the
+// recovery layer ranks adopters and graft points by: fewer hops on the
+// actual route means lower delivery latency and fewer channels exposed
+// to further faults.
+func HopDistance(topo wormhole.Topology, fm wormhole.FaultModel, src, dst wormhole.NodeID) int {
 	dead := func(wormhole.ChannelID) bool { return false }
 	if fm != nil {
 		dead = fm.Dead
@@ -23,9 +34,10 @@ func Routable(topo wormhole.Topology, fm wormhole.FaultModel, src, dst wormhole.
 	cur := topo.InjectChannel(src)
 	eject := topo.EjectChannel(dst)
 	var buf []wormhole.ChannelID
-	for steps := 0; cur != eject; steps++ {
+	steps := 0
+	for ; cur != eject; steps++ {
 		if steps > 4*topo.NumChannels() {
-			return false // routing cycle under the fault set
+			return -1 // routing cycle under the fault set
 		}
 		if hasFR {
 			buf = fr.RouteDegraded(cur, src, dst, dead, buf[:0])
@@ -40,11 +52,11 @@ func Routable(topo wormhole.Topology, fm wormhole.FaultModel, src, dst wormhole.
 			buf = live
 		}
 		if len(buf) == 0 || dead(buf[0]) {
-			return false
+			return -1
 		}
 		cur = buf[0]
 	}
-	return true
+	return steps
 }
 
 // Reachable computes which chain positions a reliable multicast can

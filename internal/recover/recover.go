@@ -41,6 +41,40 @@ import (
 	"repro/internal/wormhole"
 )
 
+// RepairPolicy selects how the recovery layer re-plans after a member
+// is given up.
+type RepairPolicy uint8
+
+const (
+	// RepairFull re-runs the OPT split over the surviving sub-chain on
+	// every give-up (the original PR-4 behavior) and degrades to
+	// binomial past the churn limit.
+	RepairFull RepairPolicy = iota
+	// RepairIncremental excises only the lost member: the rest of its
+	// subtree is grafted in one send onto the member nearest the sender
+	// by hop distance, which re-derives its own sends on delivery. When
+	// give-ups reach half the churn limit the policy thrashes and falls
+	// back to full re-planning, then to binomial at the limit itself.
+	RepairIncremental
+	// RepairBinomial plans binomial recursive-doubling from the start —
+	// the graceful-degradation endpoint as a fixed policy, the baseline
+	// the F5 churn figure compares the other two against.
+	RepairBinomial
+)
+
+func (p RepairPolicy) String() string {
+	switch p {
+	case RepairFull:
+		return "full"
+	case RepairIncremental:
+		return "incremental"
+	case RepairBinomial:
+		return "binomial"
+	default:
+		return fmt.Sprintf("RepairPolicy(%d)", uint8(p))
+	}
+}
+
 // Config parameterizes one reliable multicast execution.
 type Config struct {
 	// Sim carries the software costs (t_send, t_recv, t_hold), the
@@ -71,6 +105,16 @@ type Config struct {
 	// table to binomial recursive-doubling over survivors. 0 defaults to
 	// 2 + k/4 for a k-member group; negative disables the fallback.
 	ChurnLimit int
+	// Repair selects the re-planning policy after give-ups; the zero
+	// value is RepairFull, the original behavior.
+	Repair RepairPolicy
+	// DegreeCap, when positive, caps every node's fan-out: trees are
+	// planned with plan.DegreeSends instead of the one-port OPT split,
+	// modelling overlay deployments with bounded per-node degree. The
+	// cap overrides table selection entirely, so the binomial fallback
+	// (whose recursive doubling has unbounded fan-out over time) does
+	// not apply; the fallback flip is still recorded for comparability.
+	DegreeCap int
 	// Seed drives the deterministic backoff jitter.
 	Seed uint64
 }
@@ -92,6 +136,12 @@ type Result struct {
 	Delivered, Abandoned int
 	// Overhead itemizes the message cost of recovery.
 	Overhead mcastsim.Overhead
+	// AdoptedBy records, per chain position, the position of the sender
+	// whose adopted (replanned, grafted, or orphan-rescue) send finally
+	// delivered it, or -1 for positions delivered by their originally
+	// planned sender, abandoned, or the source. On a healthy fabric it
+	// is all -1.
+	AdoptedBy []int
 	// FallbackAt is the cycle (relative to start) the graceful-
 	// degradation policy switched planning to binomial recursive
 	// doubling, or -1 if the churn threshold was never reached.
@@ -147,9 +197,10 @@ type runner struct {
 	orphan    []bool  // given up by some sender, awaiting re-assignment
 	nextFree  []int64 // per position: when its one send port frees up
 	pair      []uint8 // k*k flattened (from*k+to) give-up record
-	reach     []int8  // k*k Routable cache: 0 unknown, 1 yes, -1 no
+	hop       []int32 // k*k HopDistance cache: 0 unknown, d+1 routable, -1 not
 	unBuf     []*wormhole.Worm
 	churn     int
+	incrLimit int // incremental -> full threshold; < 0: never degrade
 	fallback  bool
 	runErr    error
 }
@@ -212,6 +263,19 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 	if churnLimit == 0 {
 		churnLimit = 2 + k/4
 	}
+	if cfg.Repair > RepairBinomial {
+		return Result{}, fmt.Errorf("recover: unknown repair policy %d", cfg.Repair)
+	}
+	if cfg.DegreeCap < 0 {
+		return Result{}, fmt.Errorf("recover: negative degree cap %d", cfg.DegreeCap)
+	}
+	incrLimit := -1
+	if cfg.Repair == RepairIncremental && churnLimit > 0 {
+		incrLimit = churnLimit / 2
+		if incrLimit < 1 {
+			incrLimit = 1
+		}
+	}
 
 	r := &runner{
 		net:        net,
@@ -229,19 +293,28 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 		timeout:    cfg.TEnd * cfg.SlackNum / cfg.SlackDen,
 		maxRetry:   maxRetry,
 		churnLimit: churnLimit,
+		incrLimit:  incrLimit,
 		delivered:  make([]bool, k),
 		orphan:     make([]bool, k),
 		nextFree:   make([]int64, k),
 		pair:       make([]uint8, k*k),
-		reach:      make([]int8, k*k),
+		hop:        make([]int32, k*k),
 		res: Result{
 			Deliveries: make([]int64, k),
 			Status:     make([]mcastsim.DestStatus, k),
+			AdoptedBy:  make([]int, k),
 			FallbackAt: -1,
 		},
 	}
 	for i := range r.res.Deliveries {
 		r.res.Deliveries[i] = -1
+		r.res.AdoptedBy[i] = -1
+	}
+	if cfg.Repair == RepairBinomial {
+		// Binomial as a fixed policy: the degradation endpoint from the
+		// first plan, recorded at cycle 0.
+		r.fallback = true
+		r.res.FallbackAt = 0
 	}
 
 	max := cfg.Sim.MaxCycles
@@ -336,6 +409,7 @@ func (r *runner) deliverAt(self int, live []int, t int64, via *xfer) {
 		switch {
 		case via.adopted:
 			r.res.Status[self] = mcastsim.StatusAdopted
+			r.res.AdoptedBy[self] = via.from
 		case via.attempt > 0:
 			r.res.Status[self] = mcastsim.StatusRetried
 		default:
@@ -353,11 +427,17 @@ func (r *runner) deliverAt(self int, live []int, t int64, via *xfer) {
 // the sends as replanned (they count toward Overhead.RepairSends and
 // their receivers as adopted).
 func (r *runner) spawn(self int, live []int, t int64, adopted, repair bool) {
-	tab := r.tab
-	if r.fallback {
-		tab = r.fb
+	var sends []plan.RepairSend
+	var err error
+	if r.cfg.DegreeCap > 0 {
+		sends, err = plan.DegreeSends(live, self, r.cfg.DegreeCap)
+	} else {
+		tab := r.tab
+		if r.fallback {
+			tab = r.fb
+		}
+		sends, err = plan.RepairSends(tab, live, self)
 	}
-	sends, err := plan.RepairSends(tab, live, self)
 	if err != nil {
 		r.fault(err)
 		return
@@ -487,69 +567,136 @@ func (r *runner) giveUp(x *xfer, now int64) {
 		r.res.FallbackAt = now - r.t0
 	}
 	r.orphan[x.to] = true
-	// Survivors of the subtree to would have served, re-split from this
-	// sender over the surviving sub-chain (sender inserted in order).
 	if len(x.live) > 1 {
-		liveSelf := make([]int, 0, len(x.live))
-		placed := false
-		for _, p := range x.live {
-			if p == x.to {
-				continue
+		if r.cfg.Repair == RepairIncremental && !r.fallback && (r.incrLimit < 0 || r.churn <= r.incrLimit) {
+			// Incremental repair: excise only the lost member and graft
+			// the rest of its subtree, in one send, onto a surviving
+			// member — no OPT re-split at the sender.
+			r.graft(x, now)
+		} else {
+			// Full re-plan: survivors of the subtree to would have
+			// served, re-split from this sender over the surviving
+			// sub-chain (sender inserted in order).
+			liveSelf := make([]int, 0, len(x.live))
+			placed := false
+			for _, p := range x.live {
+				if p == x.to {
+					continue
+				}
+				if !placed && x.from < p {
+					liveSelf = append(liveSelf, x.from)
+					placed = true
+				}
+				liveSelf = append(liveSelf, p)
 			}
-			if !placed && x.from < p {
+			if !placed {
 				liveSelf = append(liveSelf, x.from)
-				placed = true
 			}
-			liveSelf = append(liveSelf, p)
+			r.spawn(x.from, liveSelf, now, true, true)
 		}
-		if !placed {
-			liveSelf = append(liveSelf, x.from)
-		}
-		r.spawn(x.from, liveSelf, now, true, true)
 	}
 	r.assignOrphans(now)
 }
 
+// graft implements the incremental repair step: the excised subtree's
+// survivors (the failed assignment's live set minus the given-up
+// member, order preserved) are handed whole to the survivor nearest the
+// sender by hop distance on the idle-fabric walk (ties to the lowest
+// chain position), costing exactly one repair send; the graft point
+// re-derives its own sends on delivery, exactly as any tree node does.
+// If no survivor is routable from the sender, the members are queued as
+// orphans for per-member adoption instead.
+func (r *runner) graft(x *xfer, now int64) {
+	k := len(r.ch)
+	rest := make([]int, 0, len(x.live)-1)
+	for _, p := range x.live {
+		if p != x.to {
+			rest = append(rest, p)
+		}
+	}
+	h, bestD := -1, 0
+	for _, p := range rest {
+		if r.pair[x.from*k+p] == pairUnroutable {
+			continue
+		}
+		d := r.hopDist(x.from, p)
+		if d < 0 {
+			continue
+		}
+		if h < 0 || d < bestD {
+			h, bestD = p, d
+		}
+	}
+	if h < 0 {
+		for _, p := range rest {
+			r.orphan[p] = true
+		}
+		return
+	}
+	nx := &xfer{from: x.from, to: h, live: rest, adopted: true}
+	r.res.Overhead.RepairSends++
+	r.issue(nx, now)
+}
+
 // assignOrphans retries delivery for every queued orphan that some
-// delivered member can still reach: the lowest-position delivered member
-// whose pair is not already given up and whose route exists on an idle
-// fabric. Assignment order is position-ascending, so the schedule is
-// deterministic; unassignable orphans stay queued until a new member is
-// delivered, and are abandoned if the run drains first.
+// delivered member can still reach: the delivered member nearest the
+// orphan by hop distance on the idle-fabric walk (ties to the lowest
+// chain position) whose pair is not already given up. Assignment order
+// is position-ascending and the metric is a pure function of the fault
+// set, so the schedule is deterministic; unassignable orphans stay
+// queued until a new member is delivered, and are abandoned if the run
+// drains first.
 func (r *runner) assignOrphans(now int64) {
 	k := len(r.ch)
 	for c := 0; c < k; c++ {
 		if !r.orphan[c] || r.delivered[c] {
 			continue
 		}
+		best, bestD := -1, 0
 		for s := 0; s < k; s++ {
-			if s == c || !r.delivered[s] || r.pair[s*k+c] == pairUnroutable || !r.routable(s, c) {
+			if s == c || !r.delivered[s] || r.pair[s*k+c] == pairUnroutable {
 				continue
 			}
-			r.orphan[c] = false
-			x := &xfer{from: s, to: c, live: []int{c}, adopted: true}
-			r.res.Overhead.OrphanSends++
-			r.issue(x, now)
-			break
+			d := r.hopDist(s, c)
+			if d < 0 {
+				continue
+			}
+			if best < 0 || d < bestD {
+				best, bestD = s, d
+			}
 		}
+		if best < 0 {
+			continue
+		}
+		r.orphan[c] = false
+		x := &xfer{from: best, to: c, live: []int{c}, adopted: true}
+		r.res.Overhead.OrphanSends++
+		r.issue(x, now)
 	}
 }
 
-// routable caches the idle-fabric Routable oracle per position pair —
+// hopDist caches the idle-fabric HopDistance oracle per position pair —
 // dead channels never heal, so the verdict is stable for the whole run.
-func (r *runner) routable(a, b int) bool {
+// Returns -1 for unroutable pairs.
+func (r *runner) hopDist(a, b int) int {
 	i := a*len(r.ch) + b
-	if v := r.reach[i]; v != 0 {
-		return v > 0
+	if v := r.hop[i]; v != 0 {
+		if v < 0 {
+			return -1
+		}
+		return int(v - 1)
 	}
-	ok := Routable(r.net.Topology(), r.net.Faults(), wormhole.NodeID(r.ch[a]), wormhole.NodeID(r.ch[b]))
-	if ok {
-		r.reach[i] = 1
+	d := HopDistance(r.net.Topology(), r.net.Faults(), wormhole.NodeID(r.ch[a]), wormhole.NodeID(r.ch[b]))
+	if d < 0 {
+		r.hop[i] = -1
 	} else {
-		r.reach[i] = -1
+		r.hop[i] = int32(d + 1)
 	}
-	return ok
+	return d
 }
+
+// routable reports whether the pair has any idle-fabric route.
+func (r *runner) routable(a, b int) bool { return r.hopDist(a, b) >= 0 }
 
 // fault records the first internal error; the run loop aborts on it.
 func (r *runner) fault(err error) {

@@ -24,7 +24,14 @@ import (
 // payload layout, simulator defaults not spelled out in the key). Bump
 // it whenever a change makes old cached results wrong for new code:
 // every old cache entry then simply misses.
-const Schema = 1
+//
+// Schema history:
+//
+//	1: initial layout.
+//	2: recover-mode orphan re-assignment picks the nearest delivered
+//	   adopter by hop distance (was: lowest chain position), changing
+//	   recover and netsim-recover payloads; adds churn modes.
+const Schema = 2
 
 // Key identifies one cell by its computation inputs, not by the figure
 // that wants it — two figures that request the same simulation share
@@ -37,8 +44,10 @@ type Key struct {
 	// "recover" (reliable-delivery run plus reachability oracle),
 	// "conc" (concurrent batch), "temporal" (tuner trial), "bcast" /
 	// "scatter" (full-machine broadcast variants), "traffic" (one
-	// open-system run at an offered rate, carried in X), "netsim" /
-	// "netsim-recover" / "netsim-traffic" (CLI single runs).
+	// open-system run at an offered rate, carried in X), "churn"
+	// (reliable multicast under a membership churn schedule, rate in
+	// X), "netsim" / "netsim-recover" / "netsim-traffic" /
+	// "netsim-churn" (CLI single runs).
 	Mode string
 	// Platform is the fabric label, which pins topology, size and
 	// routing policy ("16x16 mesh", "128-node BMIN (straight ascent)").

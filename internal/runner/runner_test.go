@@ -20,7 +20,7 @@ func sampleKey(trial int) Key {
 // change to the encoding must bump Schema, and this test is the tripwire.
 func TestKeyStringStable(t *testing.T) {
 	got := sampleKey(3).String()
-	want := "schema=1|mode=mcast|platform=16x16 mesh|algo=opt|soft=send=95+0.008/B|k=32|bytes=4096|x=0|trial=3|seed=1997|addrbytes=0|thold=128|tend=640|faultseed=0|deadpct=0|recseed=0|extra="
+	want := "schema=2|mode=mcast|platform=16x16 mesh|algo=opt|soft=send=95+0.008/B|k=32|bytes=4096|x=0|trial=3|seed=1997|addrbytes=0|thold=128|tend=640|faultseed=0|deadpct=0|recseed=0|extra="
 	if got != want {
 		t.Fatalf("key encoding changed without a Schema bump:\n got %s\nwant %s", got, want)
 	}

@@ -99,7 +99,7 @@ func TestDrawMembersDistinct(t *testing.T) {
 	rng := sim.NewRNG(77)
 	hot := []int{3, 4}
 	for trial := 0; trial < 500; trial++ {
-		got := drawMembers(rng, 16, 8, hot, 0.95)
+		got := drawMembers(rng, 16, 8, hot, 0.95, nil)
 		if len(got) != 8 {
 			t.Fatalf("trial %d: got %d members, want 8", trial, len(got))
 		}
@@ -131,7 +131,7 @@ func TestHotSpotSkew(t *testing.T) {
 	}
 	hotHits, draws := 0, 0
 	for trial := 0; trial < 2000; trial++ {
-		members := drawMembers(rng, nodes, k, hot, 0.8)
+		members := drawMembers(rng, nodes, k, hot, 0.8, nil)
 		for _, v := range members[1:] { // destinations only; the source is uniform
 			draws++
 			if inHot[v] {

@@ -132,6 +132,16 @@ type Config struct {
 	// Required when the fabric carries a fault plan; without it an
 	// unreachable destination is a run error.
 	Reliable bool
+	// Down, when set, reports whether a fabric node is down at a cycle
+	// (relative to run start): request groups are placed only on nodes up
+	// at their pre-drawn arrival cycle, modelling membership that routes
+	// around known outages. fault.Plan.NodeDownAt fits directly on a
+	// fresh fabric. Placement stays a pure function of (Seed, Down), so
+	// determinism is preserved; a node crashing after placement is
+	// handled by the recovery machinery, which is why Down requires
+	// Reliable mode. When every candidate is down the draw degrades to
+	// accepting a down node rather than failing generation.
+	Down func(node int, at int64) bool
 	// Seed drives every random draw of the run: arrival gaps, workload
 	// mix, placements, hot set and backoff jitter each get an
 	// independent derived stream.
@@ -231,6 +241,9 @@ func (c Config) validate(nodes int) error {
 	}
 	if c.Load.HotFrac > 0 && (c.Load.HotNodes < 2 || c.Load.HotNodes > nodes) {
 		return fmt.Errorf("traffic: HotNodes %d outside [2, %d nodes] with HotFrac %g", c.Load.HotNodes, nodes, c.Load.HotFrac)
+	}
+	if c.Down != nil && !c.Reliable {
+		return fmt.Errorf("traffic: Config.Down (outage-aware placement) requires Reliable mode: a node can crash after placement and only the recovery machinery handles the resulting loss")
 	}
 	if c.Plan == nil {
 		return fmt.Errorf("traffic: Config.Plan (split-table builder) is required")

@@ -44,7 +44,11 @@ func genRequests(cfg Config, nodes int) []*request {
 		at := arr.Next()
 		k := cfg.Load.Ks[wrng.Intn(len(cfg.Load.Ks))]
 		bytes := cfg.Load.Sizes[wrng.Intn(len(cfg.Load.Sizes))]
-		addrs := drawMembers(wrng, nodes, k, hot, cfg.Load.HotFrac)
+		var down func(int) bool
+		if cfg.Down != nil {
+			down = func(v int) bool { return cfg.Down(v, at) }
+		}
+		addrs := drawMembers(wrng, nodes, k, hot, cfg.Load.HotFrac, down)
 		var ch chain.Chain
 		if cfg.Less != nil {
 			ch = chain.New(addrs, cfg.Less)
@@ -84,25 +88,38 @@ func genRequests(cfg Config, nodes int) []*request {
 // drawMembers picks k distinct fabric nodes: the source first (uniform —
 // skew models popular destinations, not popular senders), then k-1
 // destinations, each drawn from the hot set with probability hotFrac and
-// uniformly otherwise. Duplicate draws are rejected; after a bounded
-// streak of rejections (a tiny hot set that is already fully in the
-// group) the draw falls back to a deterministic forward scan so
-// generation always terminates on the same member set for the same
-// stream.
-func drawMembers(rng *sim.RNG, nodes, k int, hot []int, hotFrac float64) []int {
+// uniformly otherwise. Duplicate draws — and, when a down filter is
+// given, nodes known to be down — are rejected; after a bounded streak
+// of rejections (a tiny hot set that is already fully in the group) the
+// draw falls back to a deterministic forward scan so generation always
+// terminates on the same member set for the same stream. A nil down
+// consumes exactly the draws the filterless generator did, keeping
+// existing workloads bit-identical; once the forward scan has wrapped
+// the whole fabric the down filter is waived (an almost-all-down fabric
+// still yields a group; the recovery machinery owns the consequences).
+func drawMembers(rng *sim.RNG, nodes, k int, hot []int, hotFrac float64, down func(int) bool) []int {
+	isDown := func(v int) bool { return down != nil && down(v) }
 	in := make(map[int]bool, k)
 	members := make([]int, 0, k)
 	add := func(v int) {
 		in[v] = true
 		members = append(members, v)
 	}
-	add(rng.Intn(nodes))
+	src := rng.Intn(nodes)
+	for rejects := 0; isDown(src) && rejects <= 64+nodes; rejects++ {
+		if rejects < 64 {
+			src = rng.Intn(nodes)
+		} else {
+			src = (src + 1) % nodes
+		}
+	}
+	add(src)
 	for len(members) < k {
 		v := rng.Intn(nodes)
 		if len(hot) > 0 && rng.Float64() < hotFrac {
 			v = hot[rng.Intn(len(hot))]
 		}
-		for rejects := 0; in[v]; rejects++ {
+		for rejects := 0; in[v] || (isDown(v) && rejects <= 64+nodes); rejects++ {
 			if rejects < 64 {
 				if len(hot) > 0 && rng.Float64() < hotFrac {
 					v = hot[rng.Intn(len(hot))]
