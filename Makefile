@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke churn-smoke shard-smoke scale-smoke golden golden-check ci
+.PHONY: all build test race lint lint-check lint-baseline vet fmt fmt-check bench bench-tuner bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke churn-smoke tuner-smoke shard-smoke scale-smoke tuner-surface golden golden-check ci
 
 all: build
 
@@ -58,13 +58,26 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=BenchmarkStepKernel -benchtime=1x -count=1 -benchmem . | $(GO) run ./cmd/benchjson -o /dev/null
 
+# BENCH_tuner.json is the committed record for the tuner selection hot
+# path (Choose/Observe/Select); the gate holds it at 0 allocs/op.
+bench-tuner:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=1 -benchmem ./internal/tuner/ | $(GO) run ./cmd/benchjson -o BENCH_tuner.json
+
 # Benchmark regression gate: rerun every benchmark once and compare the
-# deterministic metrics (allocs/op, B/op) against the committed record.
-# ns/op is reported but not gated — single-iteration CI timings are
-# noise. Regenerate the record with `make bench` after intentional
+# deterministic metrics (allocs/op, B/op) against the committed records
+# (BENCH_kernel.json for the kernels, BENCH_tuner.json for the tuner
+# hot path). ns/op is reported but not gated — single-iteration CI
+# timings are noise. The raw log and the freshly generated report
+# (bench-gate.log, bench-report.json) are written before any compare,
+# so CI can archive them even when the gate fails. Regenerate the
+# records with `make bench` / `make bench-tuner` after intentional
 # changes.
 bench-gate:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=1 -benchmem ./... | $(GO) run ./cmd/benchjson -compare BENCH_kernel.json -tolerance 25 > /dev/null
+	@set -e; \
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -count=1 -benchmem ./... > bench-gate.log; \
+	$(GO) run ./cmd/benchjson -o bench-report.json < bench-gate.log; \
+	$(GO) run ./cmd/benchjson -compare BENCH_kernel.json -tolerance 25 < bench-gate.log > /dev/null; \
+	$(GO) run ./cmd/benchjson -compare BENCH_tuner.json -tolerance 25 < bench-gate.log > /dev/null
 
 # End-to-end fault-injection smoke: generate the F1 degradation table at
 # low trial count, exercising fault plans, degraded routing and the run
@@ -101,6 +114,24 @@ churn-smoke:
 	grep -q '"complete": true' $$tmp/summary.json; \
 	echo "churn-smoke: F5 merge bit-identical to serial run, 0 cells recomputed"
 
+# Tuner smoke: the tuner package (surface compile, policy drift, the
+# seeded switch-point regression, alloc-free hot path) under the race
+# detector, then the F6 crossover-surface tables split across two
+# shard runs, merged from cache alone — asserting the merge recomputed
+# nothing and printed the same bytes as a serial run.
+tuner-smoke:
+	$(GO) test -race ./internal/tuner/
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/mcastbench ./cmd/mcastbench; \
+	$$tmp/mcastbench -fig f6 -trials 2 > $$tmp/serial.txt; \
+	$$tmp/mcastbench -fig f6 -trials 2 -shard 0/2 -cache $$tmp/cache > /dev/null; \
+	$$tmp/mcastbench -fig f6 -trials 2 -shard 1/2 -cache $$tmp/cache > /dev/null; \
+	$$tmp/mcastbench -fig f6 -trials 2 -cache $$tmp/cache -resume -summary $$tmp/summary.json > $$tmp/merged.txt; \
+	cmp $$tmp/serial.txt $$tmp/merged.txt; \
+	grep -q '"computed": 0' $$tmp/summary.json; \
+	grep -q '"complete": true' $$tmp/summary.json; \
+	echo "tuner-smoke: F6 merge bit-identical to serial run, 0 cells recomputed"
+
 # Sharded-engine smoke: split a figure across two shard runs sharing a
 # cache, merge from cache alone, and assert the merge recomputed
 # nothing and printed the same bytes as a serial run. This is the
@@ -126,13 +157,21 @@ scale-smoke:
 	$(GO) test -race -run 'Parallel' ./internal/wormhole/
 	$(GO) run ./cmd/mcastbench -fig f4 -trials 2 -parallel 4 > /dev/null
 
+# Standalone regeneration of the committed crossover-surface artifact
+# (results/tuner_surface.json, hash-verified JSON); `make golden` also
+# refreshes it as a side effect of the F6 figure.
+tuner-surface:
+	$(GO) run ./cmd/mcastbench -fig f6 -surface results/tuner_surface.json > /dev/null
+
 # Golden tables: results/figures_all.txt is the committed full-trials
-# output of every figure. `golden` regenerates it (minutes);
-# `golden-check` fails if the committed tables drifted from the code.
+# output of every figure, and results/tuner_surface.json the committed
+# crossover surfaces the F6 sweep compiles along the way. `golden`
+# regenerates both (minutes); `golden-check` fails if either drifted
+# from the code.
 golden:
-	$(GO) run ./cmd/mcastbench -fig all > results/figures_all.txt
+	$(GO) run ./cmd/mcastbench -fig all -surface results/tuner_surface.json > results/figures_all.txt
 
 golden-check: golden
 	git diff --exit-code -- results
 
-ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke churn-smoke shard-smoke scale-smoke golden-check
+ci: fmt-check build test lint race bench-smoke bench-gate fault-smoke recover-smoke traffic-smoke churn-smoke tuner-smoke shard-smoke scale-smoke golden-check

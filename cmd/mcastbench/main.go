@@ -20,7 +20,12 @@
 //
 //	mcastbench -fig f4 -parallel 4 -trials 2
 //
-// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, f5, all.
+// The f6 tuner figure additionally accepts -surface FILE (write the
+// compiled crossover surfaces as a hash-verified JSON artifact):
+//
+//	mcastbench -fig f6 -surface results/tuner_surface.json
+//
+// Figures: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, f5, f6, all.
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/model"
 	"repro/internal/runner"
+	"repro/internal/tuner"
 	"repro/internal/wallclock"
 	"repro/internal/wormhole"
 )
@@ -52,11 +58,12 @@ type options struct {
 	progress bool
 	parallel int
 	big      bool
+	surface  string
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, f5, all")
+	flag.StringVar(&o.fig, "fig", "all", "figure to regenerate: 1, 2, 2b, 3, b2, b3, contention, ratio, addr, policy, e1, e2, h1, t1, b4, conc, model, f1, f2, f3, f4, f5, f6, all")
 	flag.IntVar(&o.trials, "trials", 16, "random placements per data point (the paper uses 16)")
 	flag.Uint64Var(&o.seed, "seed", 1997, "PRNG seed")
 	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -69,6 +76,7 @@ func main() {
 	flag.BoolVar(&o.progress, "progress", false, "print progress/ETA lines to stderr")
 	flag.IntVar(&o.parallel, "parallel", 0, "with -fig f4: also run the wall-time ladder with this many simulation domains (>= 2) and print serial-vs-parallel timings; 0 skips the ladder")
 	flag.BoolVar(&o.big, "big", false, "with -fig f4 -parallel: extend the wall-time ladder to the 1024x1024 mesh and the 65536-node BMIN")
+	flag.StringVar(&o.surface, "surface", "", "with -fig f6: write the compiled crossover surfaces (hash-verified JSON artifact) to this file")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -259,6 +267,32 @@ func run(o options) error {
 			}
 			return nil
 		},
+		"f6": func() error {
+			// The crossover surface as a service: train a per-platform
+			// best-algorithm surface on half the trials, evaluate the
+			// selector against the static envelope on the held-out half.
+			f6, err := exp.TunerSweep(meshSuite(), bminSuite(), exp.DefaultTunerGrid(), o.seed)
+			if err != nil {
+				return err
+			}
+			for _, t := range []*exp.Table{f6.Selection, f6.Latency, f6.Regret} {
+				if err := emit(t, nil); err != nil {
+					return err
+				}
+			}
+			if o.surface != "" {
+				if len(f6.Surfaces) == 0 {
+					fmt.Fprintf(os.Stderr, "mcastbench: -surface skipped: shard run built no surfaces\n")
+					return nil
+				}
+				buf, err := tuner.EncodeSet(f6.Surfaces...)
+				if err != nil {
+					return err
+				}
+				return os.WriteFile(o.surface, buf, 0o644)
+			}
+			return nil
+		},
 		"f4": func() error {
 			// Scalability: the same 32-node multicast on ever larger
 			// fabrics. The latency table is deterministic (part of the
@@ -286,7 +320,7 @@ func run(o options) error {
 	}
 
 	runFigs := func() error {
-		order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2", "f3", "f4", "f5"}
+		order := []string{"1", "2", "2b", "3", "b2", "b3", "contention", "ratio", "addr", "policy", "e1", "e2", "h1", "t1", "b4", "conc", "model", "f1", "f2", "f3", "f4", "f5", "f6"}
 		if o.fig == "all" {
 			for _, name := range order {
 				fmt.Printf("==== %s ====\n", name)

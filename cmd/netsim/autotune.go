@@ -1,0 +1,164 @@
+package main
+
+// Online auto-tuning for netsim: train a small crossover surface on
+// the healthy fabric (the same calibration discipline as the t_end
+// measurement), compile it, and let a tuner.Policy pick the multicast
+// algorithm — statically for single-shot runs, per request (with
+// drift-driven live switching) under -traffic.
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/mcastsim"
+	"repro/internal/model"
+	"repro/internal/runner"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/tuner"
+	"repro/internal/wormhole"
+)
+
+// Fixed shape of the CLI training sweep: placements per candidate and
+// the drift window of the online policy. Small on purpose — the
+// surface is rebuilt per invocation (and cached per cell), so training
+// must stay interactive.
+const (
+	autotuneTrials = 3
+	autotuneWindow = 4
+)
+
+// autotuneNames is the candidate vocabulary, in surface index order.
+// The tie-break prefers binomial: with equal measured latency the
+// topology-blind tree is the safer pick under drift.
+var autotuneNames = []string{"binomial", "opt-tree", "opt"}
+
+// autotuneAlgos binds the candidate names to their executable form on
+// this fabric's chain order.
+func autotuneAlgos(less func(a, b int) bool) []tuner.Algo {
+	return []tuner.Algo{
+		{Name: "binomial", Ordered: true, Table: func(k int, _, _ model.Time) core.SplitTable {
+			return core.BinomialTable{Max: k}
+		}},
+		{Name: "opt-tree", Ordered: false, Table: func(k int, thold, tend model.Time) core.SplitTable {
+			return core.NewOptTable(k, thold, tend)
+		}},
+		{Name: "opt", Ordered: true, Table: func(k int, thold, tend model.Time) core.SplitTable {
+			return core.NewOptTable(k, thold, tend)
+		}},
+	}
+}
+
+// buildAutotunePolicy measures every candidate algorithm on the
+// healthy fabric over autotuneTrials seeded placements, compiles the
+// one-point crossover surface and wraps it in an online policy.
+// Training cells go through the result cache when one is configured,
+// so repeated invocations retrain for free.
+func buildAutotunePolicy(o options, platform string, topo wormhole.Topology,
+	less func(a, b int) bool, n int,
+	soft model.Software, thold, tend model.Time, cfg wormhole.Config,
+	cache *runner.Cache) (*tuner.Policy, error) {
+	runCfg := mcastsim.Config{Software: soft, AddrBytes: o.addrB, MaxCycles: o.deadline}
+	algos := autotuneAlgos(less)
+	surf := tuner.New(platform, autotuneNames, []int{o.k}, []int{o.bytes}, []int{0})
+
+	fmt.Printf("autotune:            training surface on the healthy fabric (%d placements per algorithm)\n", autotuneTrials)
+	for ai, a := range algos {
+		sum, cnt := 0.0, 0
+		for tr := 0; tr < autotuneTrials; tr++ {
+			seed := o.seed + uint64(tr)
+			addrs := sim.NewRNG(seed).Sample(n, o.k)
+			var ch chain.Chain
+			if a.Ordered {
+				ch = chain.New(addrs, less)
+			} else {
+				ch = chain.Unordered(addrs)
+			}
+			root, _ := ch.Index(addrs[0])
+			key := runner.Key{
+				Mode: "netsim", Platform: platform, Algo: a.Name, Soft: softwareKey(soft),
+				K: o.k, Bytes: o.bytes, Seed: seed, AddrBytes: o.addrB, THold: thold, TEnd: tend,
+				Extra: fmt.Sprintf("autotune=train,deadline=%d", o.deadline),
+			}
+			lat, hit := int64(0), false
+			if cache != nil {
+				cr, ok, cerr := cache.Load(key)
+				if cerr != nil {
+					return nil, cerr
+				}
+				if ok {
+					lat, hit = int64(cr.Metric("latency")), true
+				}
+			}
+			if !hit {
+				res, err := mcastsim.Run(wormhole.New(topo, cfg), a.Table(o.k, thold, tend), ch, root, o.bytes, runCfg)
+				if err != nil {
+					return nil, err
+				}
+				lat = res.Latency
+				if cache != nil {
+					if err := cache.Store(key, mcastToCache(res)); err != nil {
+						return nil, err
+					}
+				}
+			}
+			sum += float64(lat)
+			cnt++
+		}
+		surf.Set(0, 0, 0, ai, sum/float64(cnt))
+		fmt.Printf("autotune:              %-9s mean %.0f cycles\n", a.Name, sum/float64(cnt))
+	}
+	if err := surf.Compile(); err != nil {
+		return nil, err
+	}
+	pol, err := tuner.NewPolicy(surf, algos, tuner.PolicyConfig{Window: autotuneWindow})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("autotune:            surface %s picks %s for k=%d, %d-byte messages\n",
+		surf.Hash()[:12], pol.Name(pol.PickFor(o.k, o.bytes)), o.k, o.bytes)
+	return pol, nil
+}
+
+// printAutotuneTraffic reports what the online selector did during a
+// tuned traffic run: per-algorithm request counts from the service
+// records, then (live runs only — a cache hit replays no policy state)
+// the recorded switches, the drift windows and the recalibrated
+// parameter estimates.
+func printAutotuneTraffic(o options, pol *tuner.Policy, reqs []traffic.RequestResult, hit bool, tend model.Time) {
+	counts := make([]int, len(autotuneNames))
+	for _, rr := range reqs {
+		if rr.Algo >= 0 && rr.Algo < len(counts) {
+			counts[rr.Algo]++
+		}
+	}
+	fmt.Printf("autotune selections: ")
+	for ai, name := range autotuneNames {
+		if ai > 0 {
+			fmt.Printf("  ")
+		}
+		fmt.Printf("%s=%d", name, counts[ai])
+	}
+	fmt.Println()
+	if hit {
+		fmt.Fprintln(os.Stderr, "netsim: cached run; switch log and drift need a live run")
+		return
+	}
+	sw, dropped := pol.Switches()
+	fmt.Printf("live switches:       %d (log overflow %d)\n", len(sw), dropped)
+	for _, s := range sw {
+		fmt.Printf("  cycle %8d: %s -> %s  (k=%d, %dB)\n",
+			s.At, pol.Name(s.From), pol.Name(s.To), s.K, s.Bytes)
+	}
+	fmt.Printf("drift:               ")
+	for ai, name := range autotuneNames {
+		if ai > 0 {
+			fmt.Printf("  ")
+		}
+		fmt.Printf("%s=%.2f", name, pol.Drift(ai))
+	}
+	fmt.Printf("  (%d observations)\n", pol.Observations())
+	fmt.Printf("recalibrated t_end:  %d -> %d\n", tend, pol.Recalibrated(tend))
+}

@@ -12,6 +12,8 @@
 //	netsim -topo bmin -traffic -rate 800 -skew 0.5 -v
 //	netsim -topo mesh -churn -churn-rate 800 -rejoin 0.5 -repair incr
 //	netsim -topo bmin -churn -churn-rate 1600 -degree-cap 3 -v
+//	netsim -topo mesh -autotune -k 32 -bytes 4096
+//	netsim -topo mesh -traffic -autotune -faults 3 -rate 200 -v
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"repro/internal/torus"
 	"repro/internal/trace"
 	"repro/internal/traffic"
+	"repro/internal/tuner"
 	"repro/internal/wormhole"
 )
 
@@ -70,6 +73,7 @@ func main() {
 		rejoin   = flag.Float64("rejoin", 0.5, "churn: fraction of crashed members that rejoin after the outage window")
 		repair   = flag.String("repair", "incr", "churn: repair policy, full (re-plan), incr (graft/excise), binom (binomial over survivors)")
 		degCap   = flag.Int("degree-cap", 0, "churn: per-node fan-out cap for degree-bounded trees (0 = one-port split table)")
+		autotune = flag.Bool("autotune", false, "train a crossover surface on the healthy fabric and let the tuner pick the algorithm (overrides -algo); with -traffic the policy re-picks per request and switches live on observed drift")
 	)
 	flag.Parse()
 
@@ -83,6 +87,7 @@ func main() {
 		traffic:  *tra, rate: *rate, arrival: *arr, admission: *adm, skew: *skew,
 		churn: *churn, churnRate: *churnR, rejoinFrac: *rejoin,
 		repairPolicy: *repair, degreeCap: *degCap,
+		autotune: *autotune,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "netsim:", err)
 		os.Exit(1)
@@ -116,6 +121,8 @@ type options struct {
 	rejoinFrac   float64 // fraction of crashes that rejoin
 	repairPolicy string  // full, incr, binom
 	degreeCap    int     // per-node fan-out cap (0 = split table)
+
+	autotune bool // crossover-surface algorithm selection instead of -algo
 }
 
 func run(o options) error {
@@ -173,6 +180,12 @@ func run(o options) error {
 	if o.heatmap && o.traffic {
 		return fmt.Errorf("-heatmap visualizes a single multicast; it cannot overlay -traffic's open-system run (use -trace for the aggregate timeline)")
 	}
+	if o.autotune && o.heatmap {
+		return fmt.Errorf("-heatmap visualizes one fixed algorithm's link usage; it cannot follow -autotune's per-request selection (pick an -algo explicitly)")
+	}
+	if o.autotune && o.churn {
+		return fmt.Errorf("-autotune and -churn compose their own policies (the churn repair ladder already re-plans trees); pick one")
+	}
 
 	for _, p := range []struct {
 		name string
@@ -215,8 +228,26 @@ func run(o options) error {
 	if o.traffic && o.churn {
 		return fmt.Errorf("-traffic and -churn are different drive loops; pick one")
 	}
+	var pol *tuner.Policy
+	if o.autotune {
+		var tcache *runner.Cache
+		if o.cacheDir != "" && !o.gantt {
+			tcache, err = runner.OpenCache(o.cacheDir)
+			if err != nil {
+				return err
+			}
+		}
+		pol, err = buildAutotunePolicy(o, platform, topo, less, n, soft, thold, tend, cfg, tcache)
+		if err != nil {
+			return err
+		}
+		// Single-shot modes run the surface's static pick; -traffic hands
+		// the whole policy to the engine for per-request selection.
+		o.algo = pol.Name(pol.PickFor(o.k, o.bytes))
+		algoName = o.algo
+	}
 	if o.traffic {
-		return runTraffic(o, topoName, platform, topo, less, n, plan, soft, thold, tend, cfg)
+		return runTraffic(o, topoName, platform, topo, less, n, plan, soft, thold, tend, cfg, pol)
 	}
 	if o.churn {
 		return runChurn(o, topoName, platform, topo, less, n, soft, thold, tend, cfg)
@@ -308,17 +339,29 @@ func run(o options) error {
 		var res recov.Result
 		hit := false
 		if cache != nil {
-			if cr, ok := cache.Load(key); ok {
+			cr, ok, cerr := cache.Load(key)
+			if cerr != nil {
+				return cerr
+			}
+			if ok {
 				res, hit = recoverFromCache(cr), true
 				fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
 			}
 		}
 		if !hit {
-			res, err = recov.Run(net, tab, ch, root, bytes, recov.Config{
+			rcfg := recov.Config{
 				Sim:  mainCfg,
 				TEnd: tend,
 				Seed: seed,
-			})
+			}
+			if pol != nil {
+				// Admission-time selection below the recovery ladder: the
+				// policy's pick replaces the caller's table at Run start.
+				rcfg.Select = func(kk int) core.SplitTable {
+					return pol.TableFor(kk, bytes, thold, tend)
+				}
+			}
+			res, err = recov.Run(net, tab, ch, root, bytes, rcfg)
 			if err != nil {
 				return err
 			}
@@ -360,7 +403,11 @@ func run(o options) error {
 	var res mcastsim.Result
 	hit := false
 	if cache != nil {
-		if cr, ok := cache.Load(key); ok {
+		cr, ok, cerr := cache.Load(key)
+		if cerr != nil {
+			return cerr
+		}
+		if ok {
 			res, hit = mcastFromCache(cr), true
 			fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
 		}
@@ -413,7 +460,8 @@ const (
 // size, planned by the chosen algorithm under the measured parameters.
 func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 	less func(a, b int) bool, n int, plan *fault.Plan,
-	soft model.Software, thold, tend model.Time, cfg wormhole.Config) error {
+	soft model.Software, thold, tend model.Time, cfg wormhole.Config,
+	pol *tuner.Policy) error {
 	var planFn func(kk int, th, te model.Time) core.SplitTable
 	ordered := true
 	switch o.algo {
@@ -430,7 +478,9 @@ func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 		return fmt.Errorf("unknown algorithm %q", o.algo)
 	}
 	var lessFn func(a, b int) bool
-	if ordered {
+	if ordered || pol != nil {
+		// The tuner mixes ordered and unordered candidates per request,
+		// so the chain order must always be available.
 		lessFn = less
 	}
 	hotNodes := n / 8
@@ -452,6 +502,11 @@ func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 		Seed:      o.seed,
 		MaxCycles: o.deadline,
 	}
+	algoLabel := o.algo
+	if pol != nil {
+		tcfg.Tuner = pol
+		algoLabel = "auto"
+	}
 
 	var cache *runner.Cache
 	if o.cacheDir != "" {
@@ -466,7 +521,7 @@ func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 		}
 	}
 	key := runner.Key{
-		Mode: "netsim-traffic", Platform: platform, Algo: o.algo, Soft: softwareKey(soft),
+		Mode: "netsim-traffic", Platform: platform, Algo: algoLabel, Soft: softwareKey(soft),
 		K: o.k, Bytes: o.bytes, Seed: o.seed, AddrBytes: o.addrB, THold: thold, TEnd: tend,
 		Extra: fmt.Sprintf("rate=%g,arr=%s,adm=%s,skew=%g,req=%d,warm=%d,deadline=%d",
 			o.rate, o.arrival, o.admission, o.skew, trafficRequests, trafficWarmup, o.deadline),
@@ -475,9 +530,15 @@ func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 		key.FaultSeed = o.faultSeed
 		key.Extra += fmt.Sprintf(",dead=%g,degraded=%g,flaky=%g", o.faults, o.degraded, o.flaky)
 	}
+	if pol != nil {
+		// The tuned run is a pure function of flags plus the trained
+		// surface, so the surface's content hash joins the key.
+		key.Extra += fmt.Sprintf(",autotune=1,win=%d,train=%d,surface=%.16s",
+			autotuneWindow, autotuneTrials, pol.SurfaceHash())
+	}
 
 	fmt.Printf("fabric: %s (%d nodes)   algorithm: %s   k=%d   message=%d bytes\n",
-		topoName, n, o.algo, o.k, o.bytes)
+		topoName, n, algoLabel, o.k, o.bytes)
 	if plan != nil {
 		fmt.Printf("faults: %s   (reliable delivery on)\n", plan)
 	}
@@ -492,7 +553,11 @@ func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 	var res traffic.Result
 	hit := false
 	if cache != nil {
-		if cr, ok := cache.Load(key); ok {
+		cr, ok, cerr := cache.Load(key)
+		if cerr != nil {
+			return cerr
+		}
+		if ok {
 			res, hit = trafficFromCache(cr), true
 			fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
 		}
@@ -543,6 +608,9 @@ func runTraffic(o options, topoName, platform string, topo wormhole.Topology,
 	fmt.Printf("contention:          %d blocked header cycles\n", m.BlockedCycles)
 	fmt.Printf("one-port wait:       %d cycles\n", m.InjectWaitCycles)
 	fmt.Printf("fabric cycles:       %d\n", m.Cycles)
+	if pol != nil {
+		printAutotuneTraffic(o, pol, res.Requests, hit, tend)
+	}
 
 	if o.verbose {
 		fmt.Println("\nrequests (arrive -> start -> done):")
@@ -678,7 +746,11 @@ func runChurn(o options, topoName, platform string, topo wormhole.Topology,
 	var res member.Result
 	hit := false
 	if cache != nil {
-		if cr, ok := cache.Load(key); ok {
+		cr, ok, cerr := cache.Load(key)
+		if cerr != nil {
+			return cerr
+		}
+		if ok {
 			res, hit = memberFromCache(cr), true
 			fmt.Fprintln(os.Stderr, "netsim: result from cache", o.cacheDir)
 		}
@@ -849,10 +921,11 @@ func trafficToCache(res traffic.Result) runner.Result {
 	m := res.Metrics
 	nr := len(res.Requests)
 	arrive, start, done := make([]int64, nr), make([]int64, nr), make([]int64, nr)
-	ks, sizes := make([]int64, nr), make([]int64, nr)
+	ks, sizes, algos := make([]int64, nr), make([]int64, nr), make([]int64, nr)
 	for i, rr := range res.Requests {
 		arrive[i], start[i], done[i] = rr.Arrive, rr.Start, rr.Done
 		ks[i], sizes[i] = int64(rr.K), int64(rr.Bytes)
+		algos[i] = int64(rr.Algo)
 	}
 	return runner.Result{
 		Metrics: map[string]float64{
@@ -885,6 +958,7 @@ func trafficToCache(res traffic.Result) runner.Result {
 		},
 		Series: map[string][]int64{
 			"arrive": arrive, "start": start, "done": done, "k": ks, "bytes": sizes,
+			"algo": algos,
 		},
 	}
 }
@@ -894,6 +968,12 @@ func trafficFromCache(r runner.Result) traffic.Result {
 	reqs := make([]traffic.RequestResult, len(arrive))
 	for i := range reqs {
 		start := r.Series["start"][i]
+		// Entries written before the selector existed carry no algo
+		// series; those runs were static (-1) by construction.
+		algo := int64(-1)
+		if a := r.Series["algo"]; a != nil {
+			algo = a[i]
+		}
 		reqs[i] = traffic.RequestResult{
 			Arrive: arrive[i],
 			Start:  start,
@@ -901,6 +981,7 @@ func trafficFromCache(r runner.Result) traffic.Result {
 			K:      int(r.Series["k"][i]),
 			Bytes:  int(r.Series["bytes"][i]),
 			Shed:   start < 0,
+			Algo:   int(algo),
 		}
 	}
 	return traffic.Result{

@@ -115,6 +115,14 @@ type Config struct {
 	// (whose recursive doubling has unbounded fan-out over time) does
 	// not apply; the fallback flip is still recorded for comparability.
 	DegreeCap int
+	// Select, when set, is the admission-time algorithm policy: at run
+	// start it replaces the caller's split table with its own pick for
+	// the k-member chain (a nil return keeps the caller's table). The
+	// internal/tuner crossover-surface selector fits directly. Select
+	// composes *below* the degradation ladder: once give-ups reach
+	// ChurnLimit the binomial fallback still overrides whatever Select
+	// chose, and DegreeCap still overrides table selection entirely.
+	Select func(k int) core.SplitTable
 	// Seed drives the deterministic backoff jitter.
 	Seed uint64
 }
@@ -219,6 +227,11 @@ func Run(net *wormhole.Network, tab core.SplitTable, ch chain.Chain, root int, m
 	k := len(ch)
 	if root < 0 || root >= k {
 		return Result{}, fmt.Errorf("recover: root index %d outside chain of %d nodes", root, k)
+	}
+	if cfg.Select != nil {
+		if t := cfg.Select(k); t != nil {
+			tab = t
+		}
 	}
 	if k > tab.K() {
 		return Result{}, fmt.Errorf("recover: chain of %d nodes exceeds split table K=%d", k, tab.K())

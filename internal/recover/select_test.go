@@ -1,0 +1,117 @@
+package recover_test
+
+// Config.Select battery: the admission-time algorithm hook must
+// actually replace the caller's split table, a nil return must keep
+// it, and the churn-threshold binomial fallback must still override
+// whatever Select picked — the hook sits below the ladder.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chain"
+	"repro/internal/core"
+	"repro/internal/mcastsim"
+	"repro/internal/mesh"
+	recov "repro/internal/recover"
+	"repro/internal/wormhole"
+)
+
+func TestSelectOverridesTable(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	const k, bytes = 12, 1024
+	ch, root := meshGroup(m, 7, k)
+	tend := calibrate(t, m, ch, bytes)
+	thold := testSoft.Hold.At(bytes)
+	base := recov.Config{Sim: mcastsim.Config{Software: testSoft}, TEnd: tend}
+
+	run := func(tab core.SplitTable, sel func(k int) core.SplitTable) recov.Result {
+		cfg := base
+		cfg.Select = sel
+		res, err := recov.Run(wormhole.New(m, wormhole.DefaultConfig()), tab, ch, root, bytes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	bin := core.BinomialTable{Max: k}
+	opt := core.NewOptTable(k, thold, tend)
+	direct := run(opt, nil)
+	// Caller hands in binomial, Select overrides to OPT: the run must be
+	// indistinguishable from handing in OPT directly.
+	selected := run(bin, func(int) core.SplitTable { return opt })
+	if !reflect.DeepEqual(selected, direct) {
+		t.Fatalf("Select override diverges from direct OPT run:\n sel %+v\ndirect %+v", selected, direct)
+	}
+	// A nil return keeps the caller's table.
+	kept := run(bin, func(int) core.SplitTable { return nil })
+	if !reflect.DeepEqual(kept, run(bin, nil)) {
+		t.Fatal("nil Select return changed the run")
+	}
+	if reflect.DeepEqual(kept, direct) {
+		t.Fatal("binomial and OPT runs are indistinguishable; override test proves nothing")
+	}
+}
+
+// TestSelectBelowFallbackLadder: Select picks OPT, but once churn
+// crosses ChurnLimit the binomial fallback still takes over.
+func TestSelectBelowFallbackLadder(t *testing.T) {
+	m := mesh.New2D(4, 4)
+	const bytes = 256
+	addrs := []int{0, 3, 5, 13, 15}
+	ch := chain.New(addrs, m.DimOrderLess)
+	root, _ := ch.Index(0)
+	tend := calibrate(t, m, addrs, bytes)
+	thold := testSoft.Hold.At(bytes)
+
+	path := wormhole.PathChannels(m, 0, 3)
+	net := wormhole.New(m, wormhole.DefaultConfig())
+	net.SetFaults(stuckChannel{c: path[2]})
+
+	res, err := recov.Run(net, core.BinomialTable{Max: len(ch)}, ch, root, bytes, recov.Config{
+		Sim:        mcastsim.Config{Software: testSoft},
+		TEnd:       tend,
+		MaxRetries: 1,
+		ChurnLimit: 1,
+		Seed:       5,
+		Select: func(k int) core.SplitTable {
+			return core.NewOptTable(k, thold, tend)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FallbackAt < 0 {
+		t.Fatalf("fallback never fired over the Select hook: %+v", res)
+	}
+	if res.Abandoned != 0 {
+		t.Fatalf("fallback run abandoned destinations: %+v", res)
+	}
+}
+
+// TestSelectDeterministic: a Select-steered run replays identically.
+func TestSelectDeterministic(t *testing.T) {
+	m := mesh.New2D(8, 8)
+	const k, bytes = 8, 512
+	ch, root := meshGroup(m, 11, k)
+	tend := calibrate(t, m, ch, bytes)
+	thold := testSoft.Hold.At(bytes)
+	run := func() recov.Result {
+		res, err := recov.Run(wormhole.New(m, wormhole.DefaultConfig()),
+			core.BinomialTable{Max: k}, ch, root, bytes, recov.Config{
+				Sim:  mcastsim.Config{Software: testSoft},
+				TEnd: tend,
+				Select: func(k int) core.SplitTable {
+					return core.NewOptTable(k, thold, tend)
+				},
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("Select-steered rerun diverged")
+	}
+}

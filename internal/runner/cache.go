@@ -61,22 +61,30 @@ func (c *Cache) path(hash string) string {
 }
 
 // Load returns the cached result for key, reporting whether it was
-// present. A corrupt or colliding entry is treated as a miss (the cell
-// recomputes and Store overwrites it), never as an error: the cache is
-// an accelerator, not a source of truth.
-func (c *Cache) Load(key Key) (Result, bool) {
+// present. A missing or corrupt (unparseable) entry is a plain miss:
+// the cell recomputes and Store overwrites it — the cache is an
+// accelerator, not a source of truth. A *colliding* entry — a valid
+// record whose canonical key string differs from the requested key at
+// the same hash path — is different: it means either a SHA-256
+// collision or an externally mangled cache, and silently recomputing
+// would let the two cells keep overwriting each other. Load reports it
+// as an error naming both canonical keys so the operator can see
+// exactly which pair of cells is fighting over the path.
+func (c *Cache) Load(key Key) (Result, bool, error) {
 	buf, err := os.ReadFile(c.path(key.Hash()))
 	if err != nil {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	var e entry
 	if err := json.Unmarshal(buf, &e); err != nil {
-		return Result{}, false
+		return Result{}, false, nil
 	}
 	if e.Key != key.String() {
-		return Result{}, false
+		return Result{}, false, fmt.Errorf(
+			"runner: cache collision at %s:\n  requested key %s\n  stored key    %s",
+			c.path(key.Hash()), key.String(), e.Key)
 	}
-	return e.Result, true
+	return e.Result, true, nil
 }
 
 // Store persists the result for key.

@@ -60,7 +60,11 @@ func (e *Exec) Run(label string, cells []Cell) ([]Result, []bool, error) {
 	var todo []int
 	for i := range cells {
 		if e.Cache != nil && e.Resume {
-			if res, ok := e.Cache.Load(cells[i].Key); ok {
+			res, ok, err := e.Cache.Load(cells[i].Key)
+			if err != nil {
+				return nil, nil, fmt.Errorf("runner: %s: %w", label, err)
+			}
+			if ok {
 				results[i], have[i] = res, true
 				batch.Cached++
 				continue

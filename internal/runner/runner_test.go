@@ -52,8 +52,8 @@ func TestCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	key := sampleKey(0)
-	if _, ok := c.Load(key); ok {
-		t.Fatal("empty cache reported a hit")
+	if _, ok, err := c.Load(key); ok || err != nil {
+		t.Fatalf("empty cache reported hit=%v err=%v", ok, err)
 	}
 	res := Result{
 		Metrics: map[string]float64{"latency": 12345, "blocked": 0},
@@ -62,21 +62,27 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err := c.Store(key, res); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := c.Load(key)
+	got, ok, err := c.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("stored entry did not load")
 	}
 	if got.Metric("latency") != 12345 || got.Series["deliveries"][2] != 12345 {
 		t.Fatalf("round trip lost data: %+v", got)
 	}
-	if _, ok := c.Load(sampleKey(1)); ok {
-		t.Fatal("different key hit the same entry")
+	if _, ok, err := c.Load(sampleKey(1)); ok || err != nil {
+		t.Fatalf("different key: hit=%v err=%v", ok, err)
 	}
 }
 
-// A corrupt entry and a hash-collision entry (valid JSON, wrong key
-// string) must both read as misses, never as errors or wrong results.
-func TestCacheCorruptAndCollidingEntriesMiss(t *testing.T) {
+// A corrupt (unparseable) entry reads as a plain miss — the cell
+// recomputes and overwrites it. A *colliding* entry (valid JSON whose
+// canonical key string differs from the requested key) is an error,
+// and the error must name both canonical keys so the colliding pair is
+// diagnosable from the message alone.
+func TestCacheCorruptMissesAndCollisionNamesKeyPair(t *testing.T) {
 	dir := t.TempDir()
 	c, err := OpenCache(dir)
 	if err != nil {
@@ -90,8 +96,8 @@ func TestCacheCorruptAndCollidingEntriesMiss(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Load(key); ok {
-		t.Fatal("corrupt entry reported a hit")
+	if _, ok, err := c.Load(key); ok || err != nil {
+		t.Fatalf("corrupt entry: hit=%v err=%v, want plain miss", ok, err)
 	}
 	collide, err := json.Marshal(entry{Key: sampleKey(9).String(), Result: Result{Metrics: map[string]float64{"latency": 999}}})
 	if err != nil {
@@ -100,8 +106,22 @@ func TestCacheCorruptAndCollidingEntriesMiss(t *testing.T) {
 	if err := os.WriteFile(path, collide, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := c.Load(key); ok {
+	_, ok, err := c.Load(key)
+	if ok {
 		t.Fatal("colliding entry (different canonical key) reported a hit")
+	}
+	if err == nil {
+		t.Fatal("colliding entry read as a silent miss, want an error naming the key pair")
+	}
+	for _, want := range []string{key.String(), sampleKey(9).String()} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("collision error %q does not name key %q", err, want)
+		}
+	}
+	// The engine must surface the collision instead of recomputing over it.
+	e := &Exec{Cache: c, Resume: true}
+	if _, _, err := e.Run("collide", makeCells(1, nil)); err == nil || !strings.Contains(err.Error(), "collision") {
+		t.Fatalf("engine resume over collision: err = %v, want collision error", err)
 	}
 }
 

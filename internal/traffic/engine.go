@@ -3,6 +3,8 @@ package traffic
 import (
 	"fmt"
 
+	"repro/internal/chain"
+	"repro/internal/core"
 	"repro/internal/mcastsim"
 	"repro/internal/plan"
 	recov "repro/internal/recover"
@@ -52,6 +54,11 @@ type engine struct {
 	queue     []*reqState
 	shedCount int
 
+	// Tuner-mode split-table cache, keyed by the policy's algorithm
+	// index plus the workload point (the static path caches per
+	// (k, bytes) in genRequests instead).
+	tabs map[planKey]core.SplitTable
+
 	occ       sim.TimeWeighted
 	warmStart int64
 
@@ -95,6 +102,9 @@ func Run(net *wormhole.Network, cfg Config) (Result, error) {
 	}
 	if cfg.Reliable {
 		e.reach = make([]int8, nodes*nodes)
+	}
+	if cfg.Tuner != nil {
+		e.tabs = make(map[planKey]core.SplitTable)
 	}
 	e.warmStart = t0 + reqs[cfg.Warmup].arrive
 	// The occupancy marker is scheduled before any arrival, so at the
@@ -230,10 +240,40 @@ func (e *engine) arrive(rs *reqState, t int64) {
 	e.queue = append(e.queue, rs)
 }
 
+// planKey indexes the tuner-mode split-table cache.
+type planKey struct{ algo, k, bytes int }
+
+// resolve asks the admission-time policy which algorithm to run rs
+// with and builds the request's chain, root and split table from the
+// returned Choice. It fires at the service-start cycle, so a policy
+// that has shifted its crossover since the request was generated picks
+// the algorithm that is best *now*.
+func (e *engine) resolve(rs *reqState, t int64) {
+	rq := rs.req
+	c := e.cfg.Tuner.Choose(t, rq.k, rq.bytes)
+	rq.algo = c.Algo
+	if c.Ordered && e.cfg.Less != nil {
+		rq.ch = chain.New(rq.addrs, e.cfg.Less)
+	} else {
+		rq.ch = chain.Unordered(rq.addrs)
+	}
+	rq.root, _ = rq.ch.Index(rq.addrs[0])
+	pk := planKey{c.Algo, rq.k, rq.bytes}
+	tab, ok := e.tabs[pk]
+	if !ok {
+		tab = c.Plan(rq.k, rq.tHold, e.cfg.TEnd(rq.bytes))
+		e.tabs[pk] = tab
+	}
+	rq.tab = tab
+}
+
 // begin moves a request into service: the source "delivers" to itself
 // with responsibility for the whole chain, which schedules its sends.
 func (e *engine) begin(rs *reqState, t int64) {
 	rs.start = t
+	if e.cfg.Tuner != nil {
+		e.resolve(rs, t)
+	}
 	rs.delivered = make([]bool, len(rs.req.ch))
 	e.inflight++
 	e.noteOcc(t)
@@ -400,6 +440,9 @@ func (e *engine) maybeComplete(rs *reqState, t int64) {
 	rs.done = t
 	e.inflight--
 	e.noteOcc(t)
+	if e.cfg.Tuner != nil {
+		e.cfg.Tuner.Observe(t, rs.req.algo, rs.req.k, rs.req.bytes, t-rs.start)
+	}
 	if len(e.queue) > 0 {
 		next := e.queue[0]
 		e.queue = e.queue[1:]

@@ -20,6 +20,9 @@ type RequestResult struct {
 	Delivered []bool
 	Abandoned int
 	Shed      bool
+	// Algo is the Selector's algorithm index for this request (see
+	// Config.Tuner); -1 on the static path and for shed requests.
+	Algo int
 }
 
 // Metrics are the steady-state aggregates over the measurement window,
@@ -85,6 +88,7 @@ func (e *engine) collect(t0 int64, start wormhole.Stats) Result {
 			Addrs:  []int(rs.req.ch),
 			Root:   rs.req.root,
 			Shed:   rs.shed,
+			Algo:   rs.req.algo,
 		}
 		measured := i >= e.cfg.Warmup
 		if rs.shed {

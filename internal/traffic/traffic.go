@@ -117,10 +117,22 @@ type Config struct {
 	Requests, Warmup int
 	// Less is the architecture chain order for request groups (ordered
 	// algorithms); nil keeps the sampled draw order (OPT-tree style).
+	// With a Tuner it is the order applied to Ordered choices.
 	Less func(a, b int) bool
 	// Plan builds the split table for a k-member group under the
 	// measured parameters — the same signature as exp.Algorithm.Table.
+	// Ignored (and may be nil) when Tuner is set.
 	Plan func(k int, thold, tend model.Time) core.SplitTable
+	// Tuner, when set, replaces the static Less/Plan pair with an
+	// admission-time algorithm policy: at the cycle a request enters
+	// service the engine asks Choose which algorithm to run it with and
+	// builds the chain and split table from the returned Choice, and at
+	// each completion it feeds the observed service latency back through
+	// Observe so the policy can recalibrate and switch algorithms live.
+	// Both calls happen at exact event-queue cycles, so a tuned run
+	// keeps the full determinism contract. Nil keeps the static path
+	// bit-identical to previous releases.
+	Tuner Selector
 	// TEnd maps a message size to its calibrated unicast latency
 	// (mcastsim.Unicast); it shapes OPT tables and anchors Reliable-mode
 	// delivery deadlines. Must be > 0 for every size in Load.Sizes.
@@ -245,7 +257,7 @@ func (c Config) validate(nodes int) error {
 	if c.Down != nil && !c.Reliable {
 		return fmt.Errorf("traffic: Config.Down (outage-aware placement) requires Reliable mode: a node can crash after placement and only the recovery machinery handles the resulting loss")
 	}
-	if c.Plan == nil {
+	if c.Plan == nil && c.Tuner == nil {
 		return fmt.Errorf("traffic: Config.Plan (split-table builder) is required")
 	}
 	if c.TEnd == nil {
@@ -257,6 +269,32 @@ func (c Config) validate(nodes int) error {
 		}
 	}
 	return nil
+}
+
+// Choice is one selectable algorithm, resolved by a Selector at
+// admission time: the policy's own index for it (echoed in Observe and
+// RequestResult.Algo), whether the chain follows the architecture
+// order (Config.Less) or the sampled draw order, and the split-table
+// builder — the same (Ordered, Plan) pair the static configuration
+// spreads over Less/Plan.
+type Choice struct {
+	Algo    int
+	Ordered bool
+	Plan    func(k int, thold, tend model.Time) core.SplitTable
+}
+
+// Selector is the opt-in admission-time algorithm policy (see
+// Config.Tuner). Choose is called once per request at its
+// service-start cycle; Observe once per completed request at its
+// completion cycle, with the observed service latency (start to done,
+// queueing excluded — the closed-system quantity crossover surfaces
+// are measured in). Implementations must be deterministic functions of
+// their call history: the engine's calls arrive in event-queue order,
+// so any internal state machine replays identically across reruns and
+// kernels.
+type Selector interface {
+	Choose(at int64, k, bytes int) Choice
+	Observe(at int64, algo, k, bytes int, latency int64)
 }
 
 // nodeOf is a readability alias for chain address → fabric node.

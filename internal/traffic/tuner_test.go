@@ -1,0 +1,123 @@
+package traffic_test
+
+// Selector-hook battery: an admission-time tuner.Policy wired into
+// Config.Tuner must actually steer per-request algorithm choice, report
+// its picks through RequestResult.Algo, keep the run deterministic
+// across reruns and kernels, and leave the static path untouched.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/traffic"
+	"repro/internal/tuner"
+	"repro/internal/wormhole"
+)
+
+// tunerTestPolicy builds a fresh two-algorithm policy whose surface
+// makes the pick depend on message size — binomial wins short
+// messages, OPT wins long ones — with gaps so wide that observed drift
+// cannot flip a crossover mid-run.
+func tunerTestPolicy(t *testing.T, m *mesh.Mesh) *tuner.Policy {
+	t.Helper()
+	s := tuner.New("8x8 mesh", []string{"bin", "opt"}, []int{4, 8}, []int{256, 1024}, []int{0})
+	for ki := range []int{4, 8} {
+		s.Set(ki, 0, 0, 0, 100)    // bin at 256 B: cheap
+		s.Set(ki, 0, 0, 1, 100000) // opt at 256 B: hopeless
+		s.Set(ki, 1, 0, 0, 100000)
+		s.Set(ki, 1, 0, 1, 100)
+	}
+	if err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := tuner.NewPolicy(s, []tuner.Algo{
+		{Name: "bin", Table: func(k int, thold, tend model.Time) core.SplitTable {
+			return core.BinomialTable{Max: k}
+		}},
+		{Name: "opt", Ordered: true, Table: func(k int, thold, tend model.Time) core.SplitTable {
+			return core.NewOptTable(k, thold, tend)
+		}},
+	}, tuner.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestTrafficTunerSteers: with a Tuner installed the engine asks it per
+// admitted request, runs the chosen algorithm, and records the pick.
+func TestTrafficTunerSteers(t *testing.T) {
+	m, cfg := meshConfig(t)
+	cfg.Plan = nil // selector-only admission: Plan is not required
+	pol := tunerTestPolicy(t, m)
+	cfg.Tuner = pol
+	res := runTraffic(t, m, wormhole.KernelFast, cfg)
+
+	counts := map[int]int{}
+	for _, r := range res.Requests {
+		if r.Shed {
+			if r.Algo != -1 {
+				t.Fatalf("shed request carries algorithm %d, want -1", r.Algo)
+			}
+			continue
+		}
+		switch {
+		case r.Bytes == 256 && r.Algo != 0:
+			t.Fatalf("256-byte request ran algorithm %d, surface says bin (0)", r.Algo)
+		case r.Bytes == 1024 && r.Algo != 1:
+			t.Fatalf("1024-byte request ran algorithm %d, surface says opt (1)", r.Algo)
+		}
+		counts[r.Algo]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("selector did not exercise both algorithms: %v", counts)
+	}
+	if pol.Observations() == 0 {
+		t.Fatal("no completion latencies fed back into the policy")
+	}
+}
+
+// TestTrafficTunerDeterminism: a tuned run is a pure function of its
+// configuration — reruns and the reference kernel agree exactly (the
+// policy is stateful, so each run gets a fresh one).
+func TestTrafficTunerDeterminism(t *testing.T) {
+	m, base := meshConfig(t)
+	run := func(k wormhole.Kernel) traffic.Result {
+		cfg := base
+		cfg.Tuner = tunerTestPolicy(t, m)
+		return runTraffic(t, m, k, cfg)
+	}
+	res := run(wormhole.KernelFast)
+	if again := run(wormhole.KernelFast); !reflect.DeepEqual(res, again) {
+		t.Fatal("tuned rerun diverged")
+	}
+	if ref := run(wormhole.KernelReference); !reflect.DeepEqual(res, ref) {
+		t.Fatalf("tuned kernels diverged:\n fast %+v\n ref  %+v", res.Metrics, ref.Metrics)
+	}
+}
+
+// TestTrafficStaticPathUnmarked: without a Tuner every request reports
+// Algo -1 — the static path carries no selector state.
+func TestTrafficStaticPathUnmarked(t *testing.T) {
+	m, cfg := meshConfig(t)
+	res := runTraffic(t, m, wormhole.KernelFast, cfg)
+	for i, r := range res.Requests {
+		if r.Algo != -1 {
+			t.Fatalf("static request %d carries algorithm %d, want -1", i, r.Algo)
+		}
+	}
+}
+
+// TestTrafficTunerValidation: Plan and Tuner are alternatives — at
+// least one must be present.
+func TestTrafficTunerValidation(t *testing.T) {
+	m, cfg := meshConfig(t)
+	cfg.Plan = nil
+	net := wormhole.New(m, wormhole.DefaultConfig())
+	if _, err := traffic.Run(net, cfg); err == nil {
+		t.Fatal("accepted a config with neither Plan nor Tuner")
+	}
+}

@@ -16,9 +16,16 @@ type request struct {
 	arrive int64
 	k      int
 	bytes  int
-	ch     chain.Chain
-	root   int
-	tab    core.SplitTable
+	// addrs is the drawn member set, source first. Under a Tuner the
+	// chain, root and split table stay unset until the admission-time
+	// Choice resolves them (engine.resolve); the *draws* are still all
+	// made at generation time, so the workload itself remains a pure
+	// function of (Config, Seed) whichever algorithms end up selected.
+	addrs []int
+	algo  int // Selector's Choice.Algo; -1 on the static path
+	ch    chain.Chain
+	root  int
+	tab   core.SplitTable
 	// Per-size software costs and reliable-mode deadline parameters.
 	tSend, tRecv, tHold int64
 	timeout             int64 // deadline after issue: TEnd*reliableSlack
@@ -50,18 +57,22 @@ func genRequests(cfg Config, nodes int) []*request {
 		}
 		addrs := drawMembers(wrng, nodes, k, hot, cfg.Load.HotFrac, down)
 		var ch chain.Chain
-		if cfg.Less != nil {
-			ch = chain.New(addrs, cfg.Less)
-		} else {
-			ch = chain.Unordered(addrs)
-		}
-		root, _ := ch.Index(addrs[0])
-		tk := tabKey{k, bytes}
-		tab, ok := tabs[tk]
+		var root int
+		var tab core.SplitTable
 		tEnd := cfg.TEnd(bytes)
-		if !ok {
-			tab = cfg.Plan(k, cfg.Software.Hold.At(bytes), tEnd)
-			tabs[tk] = tab
+		if cfg.Tuner == nil {
+			if cfg.Less != nil {
+				ch = chain.New(addrs, cfg.Less)
+			} else {
+				ch = chain.Unordered(addrs)
+			}
+			root, _ = ch.Index(addrs[0])
+			tk := tabKey{k, bytes}
+			var ok bool
+			if tab, ok = tabs[tk]; !ok {
+				tab = cfg.Plan(k, cfg.Software.Hold.At(bytes), tEnd)
+				tabs[tk] = tab
+			}
 		}
 		base := int64(tEnd) / backoffDivisor
 		if base < 1 {
@@ -72,6 +83,8 @@ func genRequests(cfg Config, nodes int) []*request {
 			arrive:      at,
 			k:           k,
 			bytes:       bytes,
+			addrs:       addrs,
+			algo:        -1,
 			ch:          ch,
 			root:        root,
 			tab:         tab,

@@ -1,0 +1,71 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// benchPolicy builds a realistic-size selector: 3 algorithms over a
+// 3x3x3 grid, every cell measured.
+func benchPolicy(b *testing.B) *Policy {
+	b.Helper()
+	names := []string{"bin", "opt-tree", "opt"}
+	s := New("bench 16x16 mesh", names, []int{4, 12, 32}, []int{1024, 8192, 65536}, []int{0, 2, 4})
+	for c := 0; c < s.cells(); c++ {
+		for ai := range names {
+			s.Latency[c*len(names)+ai] = float64(1000 + 37*c + 11*ai)
+		}
+	}
+	if err := s.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	tab := func(k int, thold, tend model.Time) core.SplitTable {
+		return core.BinomialTable{Max: k}
+	}
+	p, err := NewPolicy(s, []Algo{
+		{Name: "bin", Table: tab},
+		{Name: "opt-tree", Table: tab},
+		{Name: "opt", Ordered: true, Table: tab},
+	}, PolicyConfig{FaultPct: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPolicyChoose is the admission-time selection hot path; the
+// BENCH_tuner.json gate holds it at 0 allocs/op.
+func BenchmarkPolicyChoose(b *testing.B) {
+	p := benchPolicy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += p.Choose(int64(i), 12, 8192).Algo
+	}
+	_ = sink
+}
+
+// BenchmarkPolicyObserve is the completion-time recalibration hot path.
+func BenchmarkPolicyObserve(b *testing.B) {
+	p := benchPolicy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(int64(i), i%3, 12, 8192, int64(1200+i%64))
+	}
+}
+
+// BenchmarkSurfaceSelect is the static compiled lookup.
+func BenchmarkSurfaceSelect(b *testing.B) {
+	p := benchPolicy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += p.s.Select(32, 65536, 4)
+	}
+	_ = sink
+}
